@@ -1,0 +1,33 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one paper table/figure at ``FACTOR`` times the
+default workload sizes (full-size runs live in
+``python -m repro.experiments.run_all``).  Traces are pre-generated once
+per session so pytest-benchmark times the *timing simulation*, not the
+functional warm-up.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Workload-size factor for benchmark runs (1.0 = the paper-scale runs).
+FACTOR = 0.25
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_traces():
+    """Pre-build every workload trace so benchmarks time simulation only."""
+    from repro.experiments.common import scaled_trace
+    from repro.workloads.registry import FP_SUITE, INTEGER_SUITE
+
+    for name in INTEGER_SUITE + FP_SUITE:
+        scaled_trace(name, FACTOR)
+    yield
+
+
+@pytest.fixture(scope="session")
+def factor():
+    return FACTOR

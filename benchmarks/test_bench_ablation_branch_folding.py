@@ -1,0 +1,38 @@
+"""Ablation: branch folding (the pre-decoded NEXT field, Section 2).
+
+With folding, a taken branch's target is fetched from the NEXT field
+with no bubble; without it, every taken control transfer pays a
+one-cycle front-end redirect (register jumps always pay it — their
+targets cannot live in the predecode).
+"""
+
+from repro.core.config import TABLE1_MODELS
+from repro.experiments.common import suite_stats
+
+
+def run_ablation(factor):
+    rows = {}
+    for model in TABLE1_MODELS:
+        folded = suite_stats(model.dual_issue(), "int", factor)
+        unfolded = suite_stats(
+            model.dual_issue().with_(branch_folding=False), "int", factor
+        )
+        rows[model.name] = (
+            sum(s.cpi for s in folded.values()) / len(folded),
+            sum(s.cpi for s in unfolded.values()) / len(unfolded),
+        )
+    return rows
+
+
+def test_ablation_branch_folding(benchmark, factor):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(factor), rounds=1, iterations=1
+    )
+    print()
+    print("Ablation: branch folding on/off (avg CPI)")
+    print(f"{'model':<10} {'folded':>8} {'unfolded':>9} {'penalty':>8}")
+    for model, (folded, unfolded) in rows.items():
+        print(f"{model:<10} {folded:>8.3f} {unfolded:>9.3f} "
+              f"{(unfolded / folded - 1):>+8.1%}")
+    for folded, unfolded in rows.values():
+        assert unfolded >= folded  # folding can only help

@@ -1,0 +1,39 @@
+"""Ablation: precise FP exceptions (paper Section 3.1's dual-mode idea).
+
+The decoupled FPU makes exceptions imprecise; the paper sketches a
+conservative mode where instructions are held until they cannot fault.
+This ablation holds each FP instruction's IPU reorder-buffer entry until
+the FPU completes it — quantifying what decoupling buys.
+"""
+
+from repro.core.config import BASELINE
+from repro.experiments.common import suite_stats
+
+
+def run_ablation(factor):
+    imprecise = suite_stats(BASELINE.dual_issue(), "fp", factor)
+    precise = suite_stats(
+        BASELINE.dual_issue().with_(fpu_precise_exceptions=True), "fp", factor
+    )
+    return {
+        name: (imprecise[name].cpi, precise[name].cpi) for name in imprecise
+    }
+
+
+def test_ablation_fp_precise_exceptions(benchmark, factor):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(factor), rounds=1, iterations=1
+    )
+    print()
+    print("Ablation: precise FP exceptions (baseline model CPI)")
+    print(f"{'benchmark':<10} {'imprecise':>10} {'precise':>9} {'cost':>8}")
+    total_im = total_pr = 0.0
+    for name, (imprecise, precise) in rows.items():
+        total_im += imprecise
+        total_pr += precise
+        print(f"{name:<10} {imprecise:>10.3f} {precise:>9.3f} "
+              f"{(precise / imprecise - 1):>+8.1%}")
+    print(f"{'Average':<10} {total_im / len(rows):>10.3f} "
+          f"{total_pr / len(rows):>9.3f}")
+    for imprecise, precise in rows.values():
+        assert precise >= imprecise * 0.999  # precision can only cost

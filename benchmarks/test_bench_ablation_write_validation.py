@@ -1,0 +1,34 @@
+"""Ablation: write validation (the write cache's micro-TLB page check).
+
+With validation on, a store to a page not resident in the write cache
+pays an MMU round trip before it may retire (paper Section 2.3).  Turning
+it off models an idealised on-chip MMU; the delta is the price of the
+off-chip MMU partitioning that the micro-TLB trick mostly hides.
+"""
+
+from repro.core.config import BASELINE
+from repro.experiments.common import suite_stats
+
+
+def run_ablation(factor):
+    with_validation = suite_stats(BASELINE.dual_issue(), "int", factor)
+    without = suite_stats(
+        BASELINE.dual_issue().with_(write_validation=False), "int", factor
+    )
+    return {
+        name: (with_validation[name].cpi, without[name].cpi)
+        for name in with_validation
+    }
+
+
+def test_ablation_write_validation(benchmark, factor):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(factor), rounds=1, iterations=1
+    )
+    print()
+    print("Ablation: write validation on/off (baseline model CPI)")
+    print(f"{'benchmark':<10} {'validate':>9} {'ideal MMU':>10} {'delta':>8}")
+    for name, (on, off) in rows.items():
+        print(f"{name:<10} {on:>9.3f} {off:>10.3f} {(on / off - 1):>+8.1%}")
+    for on, off in rows.values():
+        assert on >= off * 0.999  # validation can only cost cycles

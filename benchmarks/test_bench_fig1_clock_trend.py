@@ -1,0 +1,10 @@
+"""Figure 1 bench: ISSCC clock-frequency dataset + 40%/yr trend fit."""
+
+from repro.experiments import fig1_clock_trend
+
+
+def test_fig1_clock_trend(benchmark):
+    result = benchmark(fig1_clock_trend.run)
+    print()
+    print(result.render())
+    assert 25 <= result.trend.growth_percent <= 55

@@ -1,0 +1,19 @@
+"""Figure 4 bench: dual vs single issue x 3 models x {17, 35} latency.
+
+Paper shape: dual issue helps the baseline/large models at 17 cycles;
+large/dual is the best point; the gap narrows at 35 cycles.
+"""
+
+from repro.experiments import fig4_issue
+
+
+def test_fig4_issue(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig4_issue.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    points = result.by_latency[17]
+    best = min(points, key=lambda p: p.cpi_avg)
+    assert best.label == "large/dual"
+    assert result.dual_issue_gain(17, "large") > 0

@@ -1,0 +1,19 @@
+"""Figure 5 bench: prefetch removal across models and latencies.
+
+Paper shape: prefetch helps every model, helps more at the longer
+latency, and improves worst-case CPI even more than the average.
+"""
+
+from repro.experiments import fig5_prefetch
+
+
+def test_fig5_prefetch_removal(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig5_prefetch.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.prefetch_gain(17, "baseline") > 0
+    assert result.prefetch_gain(35, "baseline") > result.prefetch_gain(
+        17, "baseline"
+    )

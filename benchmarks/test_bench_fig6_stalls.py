@@ -1,0 +1,18 @@
+"""Figure 6 bench: stall-penalty breakdown per model.
+
+Paper shape: the small model is LSU-bound (one MSHR); the base and large
+models are dominated by I-cache and load stalls; the ROB matters little.
+"""
+
+from repro.core.stats import StallKind
+from repro.experiments import fig6_stalls
+
+
+def test_fig6_stall_breakdown(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig6_stalls.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.dominant("small") is StallKind.LSU
+    assert result.total_cpi["small"] > result.total_cpi["large"]

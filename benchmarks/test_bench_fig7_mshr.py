@@ -1,0 +1,19 @@
+"""Figure 7 bench: MSHR-count effects.
+
+Paper shape: the small model gains dramatically from a second MSHR; the
+baseline gains a little from four; all models peak by four entries.
+"""
+
+from repro.experiments import fig7_mshr
+
+
+def test_fig7_mshr_count(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig7_mshr.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.gain_from_variation("small") > 0
+    for model in ("small", "baseline", "large"):
+        sweep = result.sweep[model]
+        assert sweep[4] <= sweep[1]

@@ -1,0 +1,23 @@
+"""Figure 8 bench: espresso's full cost/performance design space.
+
+Paper shape: single-MSHR points (A) lie high; the large model (B) is a
+plateau; prefetch separates C from D; the recommendation (E) nearly
+matches B at much lower cost.
+"""
+
+from repro.experiments import fig8_design_space
+
+
+def test_fig8_design_space(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig8_design_space.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    b = result.marked("B")[0]
+    e = result.marked("E")[0]
+    assert e.cost < b.cost
+    assert e.cpi <= b.cpi * 1.15
+    c = result.marked("C")[0]
+    d = result.marked("D")[0]
+    assert d.cpi < c.cpi

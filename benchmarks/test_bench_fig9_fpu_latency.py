@@ -1,0 +1,30 @@
+"""Figure 9(d-g) bench: FPU functional-unit latency sweeps plus the
+Section 5.10 de-pipelining ablation.
+
+Paper shape: add/multiply latency moves CPI ~17% over 1-5 cycles; divide
+latency moves it ~8% over 10-30 cycles (ora most affected); conversion
+latency is immaterial; de-pipelining add/multiply costs a few percent
+CPI for ~25% unit-area savings.
+"""
+
+from repro.experiments import fig9_fpu
+
+_SWEEPS = ("d_add_latency", "e_mul_latency", "f_div_latency", "g_cvt_latency")
+
+
+def test_fig9_fpu_latencies(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig9_fpu.run(factor=factor, sweeps=_SWEEPS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    # higher latency never helps
+    for sweep in _SWEEPS:
+        cpis = [p.cpi_avg for p in result.sweeps[sweep]]
+        assert cpis[-1] >= cpis[0] * 0.999
+    # conversions are immaterial; the divide sweep is not
+    assert result.sensitivity("g_cvt_latency") < 0.02
+    assert result.sensitivity("f_div_latency") > 0.02
+    assert 0.0 <= result.depipelining_penalty() < 0.25

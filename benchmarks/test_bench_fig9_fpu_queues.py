@@ -1,0 +1,24 @@
+"""Figure 9(a-c) bench: FPU queue and reorder-buffer sizing.
+
+Paper shape: instruction-queue benefit flattens at 3 entries (single
+issue); two load-queue entries suffice; ROB sensitivity fades past ~6.
+"""
+
+from repro.experiments import fig9_fpu
+
+_SWEEPS = ("a_instruction_queue", "b_load_queue", "c_reorder_buffer")
+
+
+def test_fig9_fpu_queues(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: fig9_fpu.run(factor=factor, sweeps=_SWEEPS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    iq = {p.value: p.cpi_avg for p in result.sweeps["a_instruction_queue"]}
+    assert iq[1] >= iq[3] * 0.999
+    assert abs(iq[3] - iq[5]) / iq[5] < 0.05
+    lq = {p.value: p.cpi_avg for p in result.sweeps["b_load_queue"]}
+    assert abs(lq[2] - lq[5]) / lq[5] < 0.05

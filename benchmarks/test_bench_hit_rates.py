@@ -1,0 +1,14 @@
+"""Section 5 bench: baseline primary-cache hit rates vs the paper's
+96.5% (I) / 95.4% (D)."""
+
+from repro.experiments import hit_rates
+
+
+def test_baseline_hit_rates(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: hit_rates.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert abs(result.icache_average - 0.965) < 0.035
+    assert abs(result.dcache_average - 0.954) < 0.05

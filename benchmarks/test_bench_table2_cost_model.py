@@ -1,0 +1,10 @@
+"""Tables 1-2 bench: the RBE cost model over the paper's models."""
+
+from repro.experiments import table2_cost
+
+
+def test_table2_cost_model(benchmark):
+    report = benchmark(table2_cost.run)
+    print()
+    print(report.render())
+    assert report.total("small/single") < report.total("large/dual")

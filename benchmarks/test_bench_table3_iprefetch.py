@@ -1,0 +1,13 @@
+"""Table 3 bench: integer I-stream prefetch hit rates per model."""
+
+from repro.experiments import prefetch_tables
+
+
+def test_table3_instruction_prefetch(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: prefetch_tables.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # paper average: ~58% for the instruction stream
+    assert result.average("I") > 0.3

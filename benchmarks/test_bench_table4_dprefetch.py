@@ -1,0 +1,13 @@
+"""Table 4 bench: integer D-stream prefetch hit rates per model."""
+
+from repro.experiments import prefetch_tables
+
+
+def test_table4_data_prefetch(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: prefetch_tables.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # the data stream hits far less than the instruction stream
+    assert result.average("D") < result.average("I")

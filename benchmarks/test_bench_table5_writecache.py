@@ -1,0 +1,21 @@
+"""Table 5 bench: write-cache hit rates + store-traffic reduction.
+
+Paper shape: hit rates grow small -> large; off-chip store traffic drops
+to 44% / 30% / 22% of store instructions.
+"""
+
+from repro.experiments import writecache_table
+
+
+def test_table5_writecache(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: writecache_table.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert (
+        result.traffic_ratio["small"]
+        > result.traffic_ratio["baseline"]
+        > result.traffic_ratio["large"]
+    )
+    assert result.average_hit_rate("large") > result.average_hit_rate("small")

@@ -1,0 +1,22 @@
+"""Table 6 bench: the three FPU issue policies over the FP suite.
+
+Paper shape: ~12% average gain for single-issue out-of-order completion
+and ~21% for dual issue over the fully serialised policy, with spice2g6,
+alvinn and ora nearly flat and nasa7/hydro2d the big movers.
+"""
+
+from repro.core.config import FPIssuePolicy
+from repro.experiments import table6_fpu_issue
+
+
+def test_table6_fpu_issue_policies(benchmark, factor):
+    result = benchmark.pedantic(
+        lambda: table6_fpu_issue.run(factor=factor), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    single_gain = result.gain(FPIssuePolicy.SINGLE_ISSUE)
+    dual_gain = result.gain(FPIssuePolicy.DUAL_ISSUE)
+    print(f"single-OOC gain: {single_gain:+.1%} (paper +11.2%)")
+    print(f"dual-OOC gain:   {dual_gain:+.1%} (paper +20.9%)")
+    assert dual_gain >= single_gain > 0

@@ -1,0 +1,83 @@
+"""Design-space exploration: find Pareto-optimal machines for a workload.
+
+Reproduces the *method* of the paper's Section 5.6 on any workload: cross
+I-cache sizes, write-cache depths, reorder-buffer sizes, MSHR counts and
+prefetch against the RBE cost model, then report the Pareto frontier —
+the configurations no other configuration beats on both cost and CPI.
+The paper's "point E" (4 KB I-cache, baseline-sized everything else,
+4 MSHRs) should appear on or near the frontier.
+
+Run with::
+
+    python examples/design_space_exploration.py [workload]
+"""
+
+import sys
+
+from repro import BASELINE, MachineConfig, get_trace, simulate_trace
+from repro.cost import ipu_cost
+
+
+def candidate_configs() -> list[MachineConfig]:
+    configs = []
+    for icache in (1024, 2048, 4096):
+        for mshrs in (1, 2, 4):
+            for rob in (2, 6, 8):
+                for wc in (2, 4, 8):
+                    configs.append(
+                        BASELINE.with_(
+                            name=f"i{icache // 1024}K-m{mshrs}-r{rob}-w{wc}",
+                            icache_bytes=icache,
+                            mshr_entries=mshrs,
+                            rob_entries=rob,
+                            writecache_lines=wc,
+                            issue_width=2,
+                        )
+                    )
+    return configs
+
+
+def pareto_frontier(points: list[tuple[str, float, float]]):
+    """Keep points not dominated on (cost, cpi) — both lower is better."""
+    frontier = []
+    for name, cost, cpi in points:
+        dominated = any(
+            other_cost <= cost and other_cpi <= cpi and (other_cost, other_cpi) != (cost, cpi)
+            for _, other_cost, other_cpi in points
+        )
+        if not dominated:
+            frontier.append((name, cost, cpi))
+    return sorted(frontier, key=lambda p: p[1])
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "espresso"
+    # A smaller trace keeps the 81-configuration sweep quick.
+    trace = get_trace(workload, scale=None)
+    print(f"sweeping {len(candidate_configs())} configurations on {workload} "
+          f"({len(trace):,} instructions)...")
+
+    points = []
+    for config in candidate_configs():
+        stats = simulate_trace(trace, config).stats
+        points.append((config.name, ipu_cost(config).total, stats.cpi))
+
+    frontier = pareto_frontier(points)
+    print(f"\nPareto frontier ({len(frontier)} of {len(points)} points):")
+    print(f"{'configuration':<18} {'cost (RBE)':>11} {'CPI':>8}")
+    for name, cost, cpi in frontier:
+        print(f"{name:<18} {cost:>11,.0f} {cpi:>8.3f}")
+
+    # Where does the paper's recommendation land?
+    e_point = BASELINE.with_(
+        name="point-E", icache_bytes=4096, mshr_entries=4, issue_width=2
+    )
+    stats = simulate_trace(trace, e_point).stats
+    print(
+        f"\npaper's point E: cost={ipu_cost(e_point).total:,.0f} "
+        f"CPI={stats.cpi:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Quickstart: simulate a SPEC92-analogue workload on the Table 1 models.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import BASELINE, LARGE, SMALL, simulate_workload
+from repro.cost import ipu_cost
+
+
+def main() -> None:
+    print("Aurora III resource-allocation study - quickstart")
+    print("=" * 60)
+
+    # One workload, one machine: the baseline model, dual issue.
+    result = simulate_workload("espresso", BASELINE.dual_issue())
+    print("\nespresso on the baseline model (dual issue, 17-cycle memory):")
+    print(result.stats.summary())
+
+    # The headline trade-off: CPI vs RBE cost across the three models.
+    print("\nmodel comparison on espresso:")
+    print(f"{'model':<10} {'issue':<7} {'cost (RBE)':>11} {'CPI':>7}")
+    for model in (SMALL, BASELINE, LARGE):
+        for config in (model.single_issue(), model.dual_issue()):
+            r = simulate_workload("espresso", config)
+            issue = "dual" if config.issue_width == 2 else "single"
+            cost = ipu_cost(config).total
+            print(f"{model.name:<10} {issue:<7} {cost:>11,.0f} {r.cpi:>7.3f}")
+
+    # Knobs compose: add latency, drop prefetch, shrink MSHRs.
+    degraded = BASELINE.dual_issue().with_latency(35).without_prefetch()
+    r = simulate_workload("espresso", degraded)
+    print(f"\n35-cycle memory, no prefetch: CPI = {r.cpi:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Stall analysis: where do the cycles go? (the Figure 6 method, applied)
+
+Decomposes CPI for every integer workload on each Table 1 model, then
+shows how the two recommendations of Section 5.6 — more MSHRs and the
+point-E configuration — move the breakdown.
+
+Run with::
+
+    python examples/stall_analysis.py
+"""
+
+from repro import BASELINE, LARGE, RECOMMENDED, SMALL, simulate_workload
+from repro.core.stats import StallKind
+from repro.workloads import INTEGER_SUITE
+
+KINDS = StallKind.paper_categories()
+
+
+def breakdown_row(name, config):
+    stats = simulate_workload(name, config).stats
+    cells = " ".join(f"{stats.stall_cpi(kind):>7.3f}" for kind in KINDS)
+    return f"{name:<10} {stats.cpi:>6.3f}  {cells}"
+
+
+def header():
+    cells = " ".join(f"{kind.value:>7}" for kind in KINDS)
+    return f"{'workload':<10} {'CPI':>6}  {cells}"
+
+
+def main() -> None:
+    for model in (SMALL, BASELINE, LARGE):
+        print(f"\n=== {model.name} model (dual issue, 17-cycle memory) ===")
+        print(header())
+        for name in INTEGER_SUITE:
+            print(breakdown_row(name, model.dual_issue()))
+
+    print("\n=== the paper's fixes, applied to the small model ===")
+    print(header())
+    print(breakdown_row("li", SMALL.dual_issue()))
+    print(breakdown_row("li", SMALL.dual_issue().with_mshrs(4)))
+    print("(LSU stalls shrink once memory operations can overlap)")
+
+    print("\n=== point E vs the large model (espresso) ===")
+    print(header())
+    print(breakdown_row("espresso", LARGE.dual_issue()))
+    print(breakdown_row("espresso", RECOMMENDED.dual_issue()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of Upton et al., "Resource Allocation in a High
+Clock Rate Microprocessor" (ASPLOS 1994).
+
+The package rebuilds the Aurora III trace-driven resource-allocation study:
+
+* :mod:`repro.isa` — a MIPS-R3000-like ISA subset with an assembler,
+* :mod:`repro.func` — a functional simulator that turns programs into traces,
+* :mod:`repro.workloads` — SPEC92-analogue workload kernels,
+* :mod:`repro.core` — the Aurora III timing models (IFU, IEU, LSU, write
+  cache, stream-buffer prefetch, BIU, decoupled FPU),
+* :mod:`repro.cost` — the Register-Bit-Equivalent cost model (paper Table 2),
+* :mod:`repro.experiments` — drivers that regenerate every paper table and
+  figure.
+
+Quickstart::
+
+    from repro import BASELINE, simulate_workload
+    result = simulate_workload("espresso", BASELINE.dual_issue())
+    print(result.cpi, result.stats.icache_hit_rate)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily expose the high-level API to keep import time low."""
+    import importlib
+
+    if name == "api":
+        return importlib.import_module("repro.api")
+    _api = importlib.import_module("repro.api")
+    try:
+        return getattr(_api, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None

@@ -1,0 +1,95 @@
+"""High-level public API.
+
+Most users need three things: a machine configuration (Table 1 models or
+custom), a workload (SPEC92 analogue or their own program), and a
+simulation run tying them together::
+
+    from repro import BASELINE, simulate_workload
+
+    result = simulate_workload("espresso", BASELINE.dual_issue())
+    print(result.cpi, result.stats.icache_hit_rate)
+
+Everything here re-exports or thinly wraps the subpackages; power users
+can reach into :mod:`repro.core`, :mod:`repro.workloads`,
+:mod:`repro.cost` and :mod:`repro.experiments` directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (  # noqa: F401
+    BASELINE,
+    LARGE,
+    RECOMMENDED,
+    SMALL,
+    TABLE1_MODELS,
+    FPIssuePolicy,
+    FPUConfig,
+    MachineConfig,
+    baseline_model,
+    large_model,
+    recommended_model,
+    small_model,
+)
+from repro.core.processor import (  # noqa: F401
+    AuroraProcessor,
+    SimulationResult,
+    simulate_trace,
+)
+from repro.core.stats import SimStats, StallKind  # noqa: F401
+from repro.cost.rbe import (  # noqa: F401
+    CostBreakdown,
+    fpu_cost,
+    ipu_cost,
+    machine_cost,
+)
+from repro.func.machine import MachineResult, run_program  # noqa: F401
+from repro.func.trace import TraceRecord  # noqa: F401
+from repro.isa.assembler import Assembler, parse_asm  # noqa: F401
+from repro.isa.disassembler import disassemble  # noqa: F401
+from repro.isa.scheduler import schedule_load_use  # noqa: F401
+from repro.isa.program import Program  # noqa: F401
+from repro.workloads.registry import (  # noqa: F401
+    FP_SUITE,
+    INTEGER_SUITE,
+    build_program,
+    get_trace,
+)
+
+
+def simulate_workload(
+    name: str,
+    config: MachineConfig = BASELINE,
+    scale: int | None = None,
+) -> SimulationResult:
+    """Trace the named SPEC92-analogue workload and time it on ``config``.
+
+    ``scale`` overrides the workload's default size (traces are memoised
+    per ``(name, scale)``, so sweeping configurations over one workload
+    re-runs only the timing model).
+    """
+    trace = get_trace(name, scale)
+    return simulate_trace(trace, config)
+
+
+def simulate_program(
+    program: Program,
+    config: MachineConfig = BASELINE,
+    max_instructions: int = 5_000_000,
+) -> SimulationResult:
+    """Functionally execute ``program``, then time its trace on ``config``.
+
+    The one-stop path for custom programs built with
+    :class:`~repro.isa.assembler.Assembler` or :func:`parse_asm`.
+    """
+    result = run_program(program, max_instructions=max_instructions)
+    return simulate_trace(result.trace, config)
+
+
+def suite_results(
+    config: MachineConfig,
+    suite: str = "int",
+    scale: int | None = None,
+) -> dict[str, SimulationResult]:
+    """Run a whole suite ("int" or "fp") on one configuration."""
+    names = INTEGER_SUITE if suite == "int" else FP_SUITE
+    return {name: simulate_workload(name, config, scale) for name in names}

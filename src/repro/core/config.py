@@ -1,0 +1,235 @@
+"""Machine configurations: Table 1's three models plus free parameters.
+
+The paper evaluates three machine models (Table 1)::
+
+    Model     I$    D$     WriteCache  ROB  PrefetchBufs  MSHRs
+    Small     1 KB  16 KB  2 lines     2    2             1
+    Baseline  2 KB  32 KB  4 lines     6    4             2
+    Large     4 KB  64 KB  8 lines     8    8             4
+
+each in single- and dual-issue variants and with secondary-memory average
+latencies of 17 and 35 cycles.  :class:`MachineConfig` captures those knobs
+plus the ones the sensitivity studies sweep (prefetch on/off, MSHR count,
+write-cache size, branch folding) and the FPU design space of Section 5.7+
+(:class:`FPUConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class FPIssuePolicy(Enum):
+    """The three FPU issue policies of paper Section 5.8."""
+
+    IN_ORDER_COMPLETION = "in_order"  # no overlap between FP instructions
+    SINGLE_ISSUE = "single"  # in-order issue, out-of-order completion
+    DUAL_ISSUE = "dual"  # two per cycle, out-of-order completion
+
+
+@dataclass(frozen=True)
+class FPUConfig:
+    """Decoupled-FPU resources (paper Sections 3 and 5.7-5.11).
+
+    Defaults are the paper's final recommendation (Section 5.11): dual
+    issue, 5-entry instruction queue, 2-entry load data queue, 6-entry
+    reorder buffer, 3-cycle add, 5-cycle multiply, 19-cycle divide, 2
+    result busses.  The multiply and divide units are iterative (not
+    pipelined) in the implemented design; the add and convert units are
+    pipelined.  ``*_pipelined=False`` makes a unit block until its current
+    operation completes (the Section 5.10 ablation).
+    """
+
+    issue_policy: FPIssuePolicy = FPIssuePolicy.DUAL_ISSUE
+    instruction_queue: int = 5
+    load_queue: int = 2
+    store_queue: int = 3
+    rob_entries: int = 6
+    add_latency: int = 3
+    add_pipelined: bool = True
+    mul_latency: int = 5
+    mul_pipelined: bool = False
+    div_latency: int = 19
+    cvt_latency: int = 2
+    cvt_pipelined: bool = True
+    result_buses: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.instruction_queue >= 1, "instruction_queue must be >= 1")
+        _require(self.load_queue >= 1, "load_queue must be >= 1")
+        _require(self.store_queue >= 1, "store_queue must be >= 1")
+        _require(self.rob_entries >= 1, "rob_entries must be >= 1")
+        for name in ("add_latency", "mul_latency", "div_latency", "cvt_latency"):
+            _require(getattr(self, name) >= 1, f"{name} must be >= 1")
+        _require(self.result_buses >= 1, "result_buses must be >= 1")
+
+    def with_(self, **changes) -> "FPUConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One Aurora III machine configuration.
+
+    Sizes are bytes; latencies are cycles.  ``mem_latency`` is the *average*
+    secondary-memory latency exactly as the paper abstracts it (17 for the
+    medium clock rate, 35 for the fast one).  ``prefetch_line_depth`` is the
+    number of line slots per stream buffer (the paper's buffers ramp from
+    one line up to a full buffer; the depth makes the baseline pool ~20 % of
+    the I-cache, matching Section 5.2's cost remark).
+    """
+
+    name: str = "baseline"
+    issue_width: int = 2
+    icache_bytes: int = 2 * 1024
+    dcache_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    writecache_lines: int = 4
+    rob_entries: int = 6
+    prefetch_buffers: int = 4
+    prefetch_line_depth: int = 2
+    mshr_entries: int = 2
+    mem_latency: int = 17
+    dcache_latency: int = 3
+    bus_occupancy: int = 4  # cycles one line transfer holds a BIU bus
+    retire_width: int = 2
+    prefetch_enabled: bool = True
+    branch_folding: bool = True
+    write_validation: bool = True
+    page_bytes: int = 4096
+    split_prefetch_pool: bool = False  # ablation: dedicated I/D buffer halves
+    #: Precise FP exceptions (paper Section 3.1's conservative mode): an
+    #: FP instruction may not retire from the IPU's reorder buffer until
+    #: the FPU has completed it and no exception is possible.
+    fpu_precise_exceptions: bool = False
+    fpu: FPUConfig = field(default_factory=FPUConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.issue_width in (1, 2), "issue_width must be 1 or 2")
+        _require(
+            self.line_bytes > 0 and self.line_bytes & (self.line_bytes - 1) == 0,
+            "line_bytes must be a power of two",
+        )
+        for name in ("icache_bytes", "dcache_bytes"):
+            value = getattr(self, name)
+            _require(
+                value >= self.line_bytes and value % self.line_bytes == 0,
+                f"{name} must be a multiple of line_bytes",
+            )
+        _require(self.writecache_lines >= 1, "writecache_lines must be >= 1")
+        _require(self.rob_entries >= 1, "rob_entries must be >= 1")
+        _require(self.mshr_entries >= 1, "mshr_entries must be >= 1")
+        _require(self.prefetch_buffers >= 1, "prefetch_buffers must be >= 1")
+        _require(self.prefetch_line_depth >= 1, "prefetch_line_depth must be >= 1")
+        _require(self.mem_latency >= 1, "mem_latency must be >= 1")
+        _require(self.dcache_latency >= 1, "dcache_latency must be >= 1")
+        if self.split_prefetch_pool:
+            _require(
+                self.prefetch_buffers >= 2,
+                "split_prefetch_pool needs at least 2 buffers",
+            )
+
+    # ------------------------------------------------------------- variants
+
+    def with_(self, **changes) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def single_issue(self) -> "MachineConfig":
+        return self.with_(issue_width=1)
+
+    def dual_issue(self) -> "MachineConfig":
+        return self.with_(issue_width=2)
+
+    def with_latency(self, cycles: int) -> "MachineConfig":
+        return self.with_(mem_latency=cycles)
+
+    def without_prefetch(self) -> "MachineConfig":
+        return self.with_(prefetch_enabled=False)
+
+    def with_mshrs(self, count: int) -> "MachineConfig":
+        return self.with_(mshr_entries=count)
+
+    @property
+    def label(self) -> str:
+        issue = "dual" if self.issue_width == 2 else "single"
+        return f"{self.name}/{issue}/L{self.mem_latency}"
+
+    @property
+    def icache_lines(self) -> int:
+        return self.icache_bytes // self.line_bytes
+
+    @property
+    def dcache_lines(self) -> int:
+        return self.dcache_bytes // self.line_bytes
+
+
+class ConfigError(ValueError):
+    """Raised for invalid machine configurations."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def small_model(**overrides) -> MachineConfig:
+    """Table 1 'Small': 1 KB I$, 16 KB D$, 2-line WC, 2 ROB, 2 PF, 1 MSHR."""
+    base = MachineConfig(
+        name="small",
+        icache_bytes=1 * 1024,
+        dcache_bytes=16 * 1024,
+        writecache_lines=2,
+        rob_entries=2,
+        prefetch_buffers=2,
+        mshr_entries=1,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def baseline_model(**overrides) -> MachineConfig:
+    """Table 1 'Baseline': 2 KB I$, 32 KB D$, 4-line WC, 6 ROB, 4 PF, 2 MSHR."""
+    base = MachineConfig(name="baseline")
+    return base.with_(**overrides) if overrides else base
+
+
+def large_model(**overrides) -> MachineConfig:
+    """Table 1 'Large': 4 KB I$, 64 KB D$, 8-line WC, 8 ROB, 8 PF, 4 MSHR."""
+    base = MachineConfig(
+        name="large",
+        icache_bytes=4 * 1024,
+        dcache_bytes=64 * 1024,
+        writecache_lines=8,
+        rob_entries=8,
+        prefetch_buffers=8,
+        mshr_entries=4,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def recommended_model(**overrides) -> MachineConfig:
+    """Section 5.6 'point E': large I$ with baseline-sized everything else.
+
+    4 KB I-cache, 4-entry write cache, 6-entry reorder buffer, 4 MSHRs.
+    """
+    base = MachineConfig(
+        name="recommended",
+        icache_bytes=4 * 1024,
+        dcache_bytes=64 * 1024,
+        writecache_lines=4,
+        rob_entries=6,
+        prefetch_buffers=4,
+        mshr_entries=4,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+SMALL = small_model()
+BASELINE = baseline_model()
+LARGE = large_model()
+RECOMMENDED = recommended_model()
+
+#: The three Table 1 models in paper order.
+TABLE1_MODELS: tuple[MachineConfig, ...] = (SMALL, BASELINE, LARGE)

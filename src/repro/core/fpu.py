@@ -1,0 +1,297 @@
+"""The decoupled floating-point unit (paper Section 3 and Sections 5.7-5.11).
+
+The IPU transfers FP instructions into an *instruction queue* and keeps
+running; the FPU consumes the queue at its own rate.  The IPU stalls only
+when the queue is full or when it needs an FPU result (an ``mfc1`` value or
+a compare condition for ``bc1t``/``bc1f``).  A *load queue* holds incoming
+memory data until the FPU writes it to the register file; a *store queue*
+holds outgoing results until the LSU drains them.
+
+The FPU itself has a 32-entry register file (doubles in even/odd pairs),
+a reorder buffer, a scoreboard, and four functional units — add,
+multiply, divide (square root shares the divider), and convert — with
+configurable latencies and pipelining, plus a configurable number of
+result busses to the reorder buffer.
+
+Three issue policies (Section 5.8):
+
+* ``IN_ORDER_COMPLETION`` — no overlap at all: an instruction may not
+  issue until its predecessor has completed,
+* ``SINGLE_ISSUE`` — in-order issue, one per cycle, out-of-order
+  completion across functional units,
+* ``DUAL_ISSUE`` — up to two per cycle to any two *different* functional
+  units, still in-order.
+
+Like the integer core, the model is timestamp-based: each structure
+tracks busy-until times and the engine processes the FP sub-sequence of
+the trace in program order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+
+from repro.core.config import FPIssuePolicy, FPUConfig
+from repro.isa.instructions import Kind
+
+
+class FPUnit(Enum):
+    ADD = "add"
+    MUL = "mul"
+    DIV = "div"
+    CVT = "cvt"
+
+
+_KIND_TO_UNIT = {
+    int(Kind.FP_ADD): FPUnit.ADD,
+    int(Kind.FP_MUL): FPUnit.MUL,
+    int(Kind.FP_DIV): FPUnit.DIV,
+    int(Kind.FP_CVT): FPUnit.CVT,
+}
+
+
+class DecoupledFPU:
+    """Timestamp engine for the decoupled FPU."""
+
+    def __init__(self, config: FPUConfig) -> None:
+        self.cfg = config
+        self.reg_ready = [0] * 32  # FP register availability (forwarded)
+        self.cond_ready = 0  # FP condition flag availability
+        self._unit_free = {unit: 0 for unit in FPUnit}
+        self._unit_latency = {
+            FPUnit.ADD: config.add_latency,
+            FPUnit.MUL: config.mul_latency,
+            FPUnit.DIV: config.div_latency,
+            FPUnit.CVT: config.cvt_latency,
+        }
+        self._unit_pipelined = {
+            FPUnit.ADD: config.add_pipelined,
+            FPUnit.MUL: config.mul_pipelined,
+            FPUnit.DIV: False,  # iterative SRT divider, never pipelined
+            FPUnit.CVT: config.cvt_pipelined,
+        }
+        # In-order issue bookkeeping.
+        self._last_issue = -1
+        self._issued_this_cycle = 0
+        self._units_this_cycle: set[FPUnit] = set()
+        self._prev_completion = 0  # for the in-order-completion policy
+        # Queue/ROB occupancy as deques of release times.
+        self._iq_releases: deque[int] = deque()  # instruction leaves queue
+        self._lq_releases: deque[int] = deque()
+        self._sq_releases: deque[int] = deque()
+        self._rob_retires: deque[int] = deque()
+        self._last_retire = 0
+        # Register-file write bandwidth: the result busses are shared by
+        # functional-unit completions and load-queue data drains.  The
+        # dual-issue design pays for two busses; the single-issue and
+        # fully-serialised machines have one (paper Section 5.8 lists the
+        # extra busses among dual issue's hardware costs).
+        self._bus_slots: dict[int, int] = {}
+        if config.issue_policy is FPIssuePolicy.DUAL_ISSUE:
+            self._write_ports = min(2, config.result_buses)
+        else:
+            self._write_ports = min(1, config.result_buses)
+        self.instructions = 0
+        self.issue_stall_cycles = 0
+        self.last_event = 0
+
+    # ------------------------------------------------------------- IPU side
+
+    def dispatch_floor(self) -> int:
+        """Earliest time the IPU may transfer the next FP instruction.
+
+        The instruction queue has ``cfg.instruction_queue`` entries; entry
+        *n* frees when instruction *n* issues into a functional unit.
+        """
+        if len(self._iq_releases) >= self.cfg.instruction_queue:
+            return self._iq_releases[0]
+        return 0
+
+    def load_data_floor(self) -> int:
+        """Earliest time the LSU may deliver the next FP load's data
+        (load-queue backpressure)."""
+        if len(self._lq_releases) >= self.cfg.load_queue:
+            return self._lq_releases[0]
+        return 0
+
+    # ------------------------------------------------------------ dispatch
+
+    def arith(self, kind: int, fd: int, fs: int, ft: int, arrive: int) -> int:
+        """Process an arithmetic/convert/compare op arriving at ``arrive``.
+
+        ``fd`` is -1 for compares (they set the condition flag instead).
+        ``fs``/``ft`` are FPU-local register numbers (-1 when absent).
+        Returns the completion time.
+        """
+        unit = _KIND_TO_UNIT[kind]
+        operand_ready = 0
+        if fs >= 0:
+            operand_ready = self.reg_ready[fs]
+        if ft >= 0 and self.reg_ready[ft] > operand_ready:
+            operand_ready = self.reg_ready[ft]
+        issue = self._issue(arrive, operand_ready, unit)
+        latency = self._unit_latency[unit]
+        completion = issue + latency
+        if fd >= 0:
+            completion = self._claim_result_bus(completion)
+            self.reg_ready[fd] = completion
+        else:
+            completion = self._claim_result_bus(completion)
+            self.cond_ready = completion
+        self._unit_free[unit] = (
+            issue + 1 if self._unit_pipelined[unit] else completion
+        )
+        self._finish(issue, completion, unit)
+        return completion
+
+    def load(self, fd: int, data_arrival: int, arrive: int) -> int:
+        """Process an FP load: data lands in the load queue and is written
+        to the register file out-of-band.
+
+        The load queue exists precisely so that incoming memory data does
+        not contend with arithmetic issue (paper Section 3.1): data waits
+        in the queue for the dedicated register-file write port, one write
+        per cycle, regardless of what the issue logic is doing.  Back-
+        pressure arises only when data arrives faster than it drains or
+        the queue is full (the caller consults :meth:`load_data_floor`).
+
+        Returns the register-file write time.
+        """
+        if self.cfg.issue_policy is FPIssuePolicy.IN_ORDER_COMPLETION:
+            # The fully serialised policy has no decoupled write port:
+            # the load's RF write is an instruction like any other.
+            issue = self._issue(arrive, data_arrival, unit=None)
+            write_time = issue + 1
+            self.reg_ready[fd] = write_time
+            self._lq_releases.append(write_time)
+            if len(self._lq_releases) > self.cfg.load_queue:
+                self._lq_releases.popleft()
+            self._finish(issue, write_time, unit=None)
+            return write_time
+        write_time = self._claim_result_bus(data_arrival)
+        self.reg_ready[fd] = write_time
+        self._lq_releases.append(write_time)
+        if len(self._lq_releases) > self.cfg.load_queue:
+            self._lq_releases.popleft()
+        if write_time > self.last_event:
+            self.last_event = write_time
+        self.instructions += 1
+        return write_time
+
+    def store(self, ft: int, arrive: int) -> int:
+        """Process an FP store (or move-to-IPU): returns the time the data
+        is available to the LSU (after the store queue).
+
+        The whole point of the store queue (paper Section 3.1) is that a
+        store *issues* without waiting for its data: it takes a store-queue
+        entry and the data follows when the producing operation completes.
+        Issue therefore stalls only when the store queue itself is full,
+        never on the store's operand.
+        """
+        sq_floor = 0
+        if len(self._sq_releases) >= self.cfg.store_queue:
+            sq_floor = self._sq_releases[0]
+        issue = self._issue(arrive, sq_floor, unit=None)
+        operand_ready = self.reg_ready[ft] if ft >= 0 else 0
+        # Data leaves over the data-cache input busses once produced.
+        data_out = max(issue, operand_ready) + 1
+        self._sq_releases.append(data_out)
+        if len(self._sq_releases) > self.cfg.store_queue:
+            self._sq_releases.popleft()
+        self._finish(issue, data_out, unit=None)
+        return data_out
+
+    def mtc1(self, fd: int, data_arrival: int, arrive: int) -> int:
+        """Move from IPU: behaves like a load whose data comes from the IPU."""
+        return self.load(fd, data_arrival, arrive)
+
+    def reg_read_floor(self, fs: int) -> int:
+        """When the IPU could read FP register ``fs`` (for mfc1)."""
+        return self.reg_ready[fs]
+
+    # ------------------------------------------------------------ internals
+
+    def _issue(self, arrive: int, operand_ready: int, unit: FPUnit | None) -> int:
+        cfg = self.cfg
+        floor = arrive if arrive > operand_ready else operand_ready
+        if cfg.issue_policy is FPIssuePolicy.IN_ORDER_COMPLETION:
+            if self._prev_completion > floor:
+                floor = self._prev_completion
+        # Reorder-buffer entry must be free (frees at in-order retire).
+        if len(self._rob_retires) >= cfg.rob_entries:
+            rob_floor = self._rob_retires[0]
+            if rob_floor > floor:
+                floor = rob_floor
+        # Functional unit availability (iterative units block).
+        if unit is not None and self._unit_free[unit] > floor:
+            floor = self._unit_free[unit]
+        # In-order issue + per-cycle width.
+        issue = self._apply_width_rules(floor, unit)
+        if issue > arrive:
+            self.issue_stall_cycles += issue - arrive
+        return issue
+
+    def _apply_width_rules(self, floor: int, unit: FPUnit | None) -> int:
+        policy = self.cfg.issue_policy
+        if policy is FPIssuePolicy.IN_ORDER_COMPLETION:
+            # Serialised anyway; still at most one per cycle.
+            if floor <= self._last_issue:
+                floor = self._last_issue + 1
+            return floor
+        if floor < self._last_issue:
+            floor = self._last_issue
+        if policy is FPIssuePolicy.SINGLE_ISSUE:
+            if floor == self._last_issue:
+                floor += 1
+            return floor
+        # DUAL_ISSUE: two per cycle, to two different functional units.
+        if floor == self._last_issue:
+            same_unit = unit is not None and unit in self._units_this_cycle
+            if self._issued_this_cycle >= 2 or same_unit:
+                floor += 1
+        return floor
+
+    def _finish(self, issue: int, completion: int, unit: FPUnit | None) -> None:
+        if issue == self._last_issue:
+            self._issued_this_cycle += 1
+        else:
+            self._last_issue = issue
+            self._issued_this_cycle = 1
+            self._units_this_cycle.clear()
+        if unit is not None:
+            self._units_this_cycle.add(unit)
+        # Instruction queue entry frees at issue.
+        self._iq_releases.append(issue)
+        if len(self._iq_releases) > self.cfg.instruction_queue:
+            self._iq_releases.popleft()
+        # In-order retirement through the FPU reorder buffer.
+        retire = completion if completion > self._last_retire else self._last_retire
+        self._last_retire = retire
+        self._rob_retires.append(retire)
+        if len(self._rob_retires) > self.cfg.rob_entries:
+            self._rob_retires.popleft()
+        if self.cfg.issue_policy is FPIssuePolicy.IN_ORDER_COMPLETION:
+            self._prev_completion = completion
+        if retire > self.last_event:
+            self.last_event = retire
+        self.instructions += 1
+
+    def _claim_result_bus(self, completion: int) -> int:
+        """Delay an RF write until a result-bus slot is free.
+
+        Both functional-unit completions and load-data drains go through
+        these busses (``_write_ports`` of them per cycle).
+        """
+        buses = self._write_ports
+        slots = self._bus_slots
+        cycle = completion
+        while slots.get(cycle, 0) >= buses:
+            cycle += 1
+        slots[cycle] = slots.get(cycle, 0) + 1
+        if len(slots) > 4096:
+            # Prune slots far in the past to bound memory.
+            horizon = cycle - 64
+            for key in [k for k in slots if k < horizon]:
+                del slots[key]
+        return cycle

@@ -1,0 +1,198 @@
+"""Jouppi-style stream buffers (the Prefetch Unit, paper Section 2.2).
+
+On each primary-cache miss the pool is checked; a hit supplies the line
+from the buffer (possibly still in flight), a miss allocates the
+least-recently-used buffer for a new stream.  Per the paper's ramping
+policy: "On each instruction or data cache miss, a stream buffer is
+allocated and initialized to fetch the next sequential line.  This buffer
+initially fetches only a single line.  If a subsequent request hits in a
+prefetch buffer, additional sequential lines are fetched until the buffer
+is filled."
+
+The pool is shared between the instruction and data streams — the paper
+attributes the small model's poor prefetch behaviour to I/D thrashing in
+its two-buffer pool, which a shared pool reproduces.  A split-pool variant
+(`SplitStreamBufferPool`) exists as an ablation.
+
+All times are cycle timestamps; prefetch line fetches are issued through
+the BIU and consume its transmit bandwidth like any other transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.biu import BusInterfaceUnit
+
+
+@dataclass
+class _Stream:
+    """One stream buffer: pending/arrived sequential lines and LRU age."""
+
+    next_line: int = -1  # next line number to prefetch when ramping
+    slots: dict[int, int] = field(default_factory=dict)  # line -> arrival time
+    last_used: int = -1
+    valid: bool = False
+
+
+@dataclass
+class PrefetchStats:
+    """Hit accounting split by stream, for paper Tables 3 and 4."""
+
+    i_lookups: int = 0
+    i_hits: int = 0
+    d_lookups: int = 0
+    d_hits: int = 0
+    lines_fetched: int = 0
+
+    def hit_rate(self, stream: str) -> float:
+        if stream == "I":
+            return self.i_hits / self.i_lookups if self.i_lookups else 0.0
+        if stream == "D":
+            return self.d_hits / self.d_lookups if self.d_lookups else 0.0
+        raise ValueError(f"unknown stream {stream!r}")
+
+
+class StreamBufferPool:
+    """A shared pool of sequential stream buffers."""
+
+    def __init__(
+        self,
+        buffers: int,
+        depth: int,
+        biu: BusInterfaceUnit,
+        enabled: bool = True,
+    ) -> None:
+        if buffers < 1:
+            raise ValueError("need at least one stream buffer")
+        if depth < 1:
+            raise ValueError("stream buffer depth must be >= 1")
+        self.depth = depth
+        self.enabled = enabled
+        self._biu = biu
+        self._streams = [_Stream() for _ in range(buffers)]
+        self._clock = 0  # logical use counter for LRU
+        self.stats = PrefetchStats()
+
+    # ------------------------------------------------------------------ API
+
+    def lookup(self, line: int, time: int, stream: str) -> int | None:
+        """Check the pool for ``line`` on a primary miss at ``time``.
+
+        Returns the line's arrival time on a hit (may be in the future if
+        the prefetch is still in flight), or None on a miss.  A hit
+        consumes the line and ramps the stream: further sequential lines
+        are requested until ``depth`` slots are pending/filled.
+        """
+        if not self.enabled:
+            return None
+        self._count_lookup(stream)
+        for buffer in self._streams:
+            if buffer.valid and line in buffer.slots:
+                arrival = buffer.slots.pop(line)
+                buffer.last_used = self._bump()
+                self._ramp(buffer, time)
+                self._count_hit(stream)
+                return arrival
+        return None
+
+    def allocate(self, line: int, time: int, stream: str = "D") -> None:
+        """Primary miss that also missed the pool: start a new stream.
+
+        The demand line itself is fetched by the cache's normal miss path;
+        the new stream prefetches only the next sequential line (ramping
+        happens on later hits).  ``stream`` is accepted for interface
+        parity with :class:`SplitStreamBufferPool` (a shared pool ignores
+        it).
+        """
+        if not self.enabled:
+            return
+        buffer = min(self._streams, key=lambda s: s.last_used)
+        buffer.valid = True
+        buffer.slots.clear()
+        buffer.next_line = line + 1
+        buffer.last_used = self._bump()
+        self._fetch_next(buffer, time)
+
+    def drop_line(self, line: int) -> None:
+        """Invalidate a line (e.g. written by a store) wherever it sits."""
+        for buffer in self._streams:
+            buffer.slots.pop(line, None)
+
+    # ------------------------------------------------------------- internals
+
+    def _ramp(self, buffer: _Stream, time: int) -> None:
+        while len(buffer.slots) < self.depth:
+            self._fetch_next(buffer, time)
+
+    def _fetch_next(self, buffer: _Stream, time: int) -> None:
+        arrival = self._biu.request(time, "prefetch")
+        buffer.slots[buffer.next_line] = arrival
+        buffer.next_line += 1
+        self.stats.lines_fetched += 1
+
+    def _bump(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _count_lookup(self, stream: str) -> None:
+        if stream == "I":
+            self.stats.i_lookups += 1
+        else:
+            self.stats.d_lookups += 1
+
+    def _count_hit(self, stream: str) -> None:
+        if stream == "I":
+            self.stats.i_hits += 1
+        else:
+            self.stats.d_hits += 1
+
+
+class SplitStreamBufferPool:
+    """Ablation variant: dedicated halves for the I and D streams.
+
+    Presents the same ``lookup``/``allocate``/``drop_line`` interface as
+    :class:`StreamBufferPool` but routes each stream to its own sub-pool,
+    eliminating I/D thrashing at the cost of flexibility.
+    """
+
+    def __init__(
+        self,
+        buffers: int,
+        depth: int,
+        biu: BusInterfaceUnit,
+        enabled: bool = True,
+    ) -> None:
+        if buffers < 2:
+            raise ValueError("split pool needs at least 2 buffers")
+        i_buffers = max(1, buffers // 2)
+        d_buffers = max(1, buffers - i_buffers)
+        self._pools = {
+            "I": StreamBufferPool(i_buffers, depth, biu, enabled),
+            "D": StreamBufferPool(d_buffers, depth, biu, enabled),
+        }
+        self.enabled = enabled
+        self.depth = depth
+
+    @property
+    def stats(self) -> PrefetchStats:
+        merged = PrefetchStats()
+        merged.i_lookups = self._pools["I"].stats.i_lookups
+        merged.i_hits = self._pools["I"].stats.i_hits
+        merged.d_lookups = self._pools["D"].stats.d_lookups
+        merged.d_hits = self._pools["D"].stats.d_hits
+        merged.lines_fetched = (
+            self._pools["I"].stats.lines_fetched
+            + self._pools["D"].stats.lines_fetched
+        )
+        return merged
+
+    def lookup(self, line: int, time: int, stream: str) -> int | None:
+        return self._pools[stream].lookup(line, time, stream)
+
+    def allocate(self, line: int, time: int, stream: str = "D") -> None:
+        self._pools[stream].allocate(line, time)
+
+    def drop_line(self, line: int) -> None:
+        for pool in self._pools.values():
+            pool.drop_line(line)

@@ -1,0 +1,419 @@
+"""The Aurora III trace-driven timing model (the paper's core system).
+
+The model walks a dynamic trace in program order and computes, for every
+instruction, the cycle it issues and the cycle it completes, using
+busy-until timestamps for every structure: the pre-decoded I-cache with
+branch folding, the dual-issue constraints (aligned pairs, DI bit, one
+memory op per cycle), the scoreboard (register-availability times with
+forwarding), the reorder buffer (in-order retirement), the LSU with its
+pipelined 3-cycle external D-cache and MSHR-governed non-blocking misses,
+the coalescing write cache with write validation, the stream-buffer
+prefetch pool, the split-transaction BIU, and the decoupled FPU behind
+its instruction/load/store queues.
+
+For an in-order machine this timestamp formulation is cycle-accurate with
+respect to the structural and data hazards it models: every constraint is
+a monotone "earliest time" and the issue time is their maximum, so no
+event can be observed out of order.  It is roughly an order of magnitude
+faster in Python than ticking each unit every cycle, which is what makes
+sweeping the paper's full design space feasible.
+
+Stall attribution follows Figure 6's four categories: when an
+instruction's issue is delayed past the cycle in-order flow alone would
+have allowed, the delay is charged to the binding constraint (I-cache,
+Load, ROB-full, LSU), with pairing restrictions and FPU-decoupling waits
+tracked separately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.biu import BusInterfaceUnit
+from repro.core.caches import DirectMappedCache, PipelinedCachePort
+from repro.core.config import MachineConfig
+from repro.core.fpu import DecoupledFPU
+from repro.core.mshr import MSHRFile
+from repro.core.prefetch import SplitStreamBufferPool, StreamBufferPool
+from repro.core.stats import SimStats, StallKind
+from repro.core.writecache import WriteCache
+from repro.func.trace import TraceRecord
+from repro.isa.instructions import Kind
+
+_K_ALU = int(Kind.ALU)
+_K_LOAD = int(Kind.LOAD)
+_K_STORE = int(Kind.STORE)
+_K_BRANCH = int(Kind.BRANCH)
+_K_JUMP = int(Kind.JUMP)
+_K_NOP = int(Kind.NOP)
+_K_FP_ADD = int(Kind.FP_ADD)
+_K_FP_MUL = int(Kind.FP_MUL)
+_K_FP_DIV = int(Kind.FP_DIV)
+_K_FP_CVT = int(Kind.FP_CVT)
+_K_FP_LOAD = int(Kind.FP_LOAD)
+_K_FP_STORE = int(Kind.FP_STORE)
+_K_FP_MOVE = int(Kind.FP_MOVE)
+_K_HALT = int(Kind.HALT)
+
+_MEM_KINDS = frozenset((_K_LOAD, _K_STORE, _K_FP_LOAD, _K_FP_STORE, _K_FP_MOVE))
+_FP_ARITH_KINDS = frozenset((_K_FP_ADD, _K_FP_MUL, _K_FP_DIV, _K_FP_CVT))
+_FP_DISPATCH_KINDS = _FP_ARITH_KINDS | frozenset(
+    (_K_FP_LOAD, _K_FP_STORE, _K_FP_MOVE)
+)
+
+#: IPU -> FPU transfer latency in cycles (inter-chip queue insertion).
+FPU_TRANSFER = 2
+#: Extra cycle for a write-cache forward vs. a cache hit (on-chip buffer).
+WC_FORWARD_LATENCY = 2
+
+
+@dataclass
+class SimulationResult:
+    """Stats plus the configuration that produced them."""
+
+    config: MachineConfig
+    stats: SimStats
+
+    @property
+    def cpi(self) -> float:
+        return self.stats.cpi
+
+
+class AuroraProcessor:
+    """One configured Aurora III machine, ready to time traces."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    def run(self, trace: list[TraceRecord]) -> SimulationResult:
+        """Time one trace; returns stats for the whole run."""
+        cfg = self.config
+        stats = SimStats()
+        biu = BusInterfaceUnit(latency=cfg.mem_latency, occupancy=cfg.bus_occupancy)
+        icache = DirectMappedCache(cfg.icache_bytes, cfg.line_bytes)
+        dcache = DirectMappedCache(cfg.dcache_bytes, cfg.line_bytes)
+        dport = PipelinedCachePort(access_latency=cfg.dcache_latency)
+        mshr = MSHRFile(cfg.mshr_entries)
+        pool_cls = SplitStreamBufferPool if cfg.split_prefetch_pool else StreamBufferPool
+        pool = pool_cls(
+            cfg.prefetch_buffers,
+            cfg.prefetch_line_depth,
+            biu,
+            enabled=cfg.prefetch_enabled,
+        )
+        writecache = WriteCache(
+            cfg.writecache_lines,
+            cfg.line_bytes,
+            biu,
+            page_bytes=cfg.page_bytes,
+            write_validation=cfg.write_validation,
+        )
+        fpu = DecoupledFPU(cfg.fpu)
+
+        line_shift = cfg.line_bytes.bit_length() - 1
+        dcache_latency = cfg.dcache_latency
+        issue_width = cfg.issue_width
+        retire_width = cfg.retire_width
+        rob_capacity = cfg.rob_entries
+        folding = cfg.branch_folding
+
+        # Scoreboard: availability time of each unified register, plus
+        # whether the last writer was a load-class producer (for stall
+        # attribution per Figure 6).
+        reg_ready = [0] * 66
+        reg_from_load = [False] * 66
+
+        rob: deque[int] = deque()  # retire times of the last R instructions
+        rob_is_mem: deque[bool] = deque()  # head entry waiting on the LSU?
+        retire_window: deque[int] = deque([0] * retire_width, maxlen=retire_width)
+        last_retire = 0
+
+        last_issue = -1
+        slots_used = issue_width  # force the first instruction to cycle 0
+        prev_pc = -8
+        prev_was_mem = False
+
+        inflight: dict[int, int] = {}  # D-line -> fill arrival time
+        redirect_apply_at = -1
+        redirect_floor = 0
+
+        stall = stats.stall_cycles  # local alias
+
+        for index, record in enumerate(trace):
+            pc, kind, dst, s1, s2, addr = record
+
+            # ---------------------------------------------------- fetch side
+            request_time = last_issue if last_issue > 0 else 0
+            if icache.lookup(pc):
+                t_fetch = icache.ready_time(pc)
+            else:
+                line = pc >> line_shift
+                arrival = pool.lookup(line, request_time, "I")
+                if arrival is None:
+                    pool.allocate(line, request_time, stream="I")
+                    arrival = biu.request(request_time, "ifetch")
+                elif arrival < request_time:
+                    arrival = request_time
+                t_fetch = arrival + 1
+                icache.fill(pc, t_fetch)
+            if index == redirect_apply_at and redirect_floor > t_fetch:
+                t_fetch = redirect_floor
+
+            # ------------------------------------------------ in-order floor
+            if slots_used < issue_width:
+                floor = last_issue
+            else:
+                floor = last_issue + 1
+
+            # ------------------------------------------------ hazard floors
+            t_operand = 0
+            operand_from_load = False
+            if s1 >= 0:
+                t_operand = reg_ready[s1]
+                operand_from_load = reg_from_load[s1]
+            if s2 >= 0 and reg_ready[s2] > t_operand:
+                t_operand = reg_ready[s2]
+                operand_from_load = reg_from_load[s2]
+
+            t_rob = rob[0] if len(rob) >= rob_capacity else 0
+
+            is_mem = kind in _MEM_KINDS
+            t_lsu = 0
+            if is_mem:
+                t_lsu = mshr.earliest_grant(0) - 1
+                port_floor = dport.next_slot - 1
+                if port_floor > t_lsu:
+                    t_lsu = port_floor
+
+            t_fpu = 0
+            if kind in _FP_DISPATCH_KINDS:
+                t_fpu = fpu.dispatch_floor() - FPU_TRANSFER
+            elif kind == _K_BRANCH and s1 < 0 and s2 < 0:
+                # bc1t/bc1f: wait for the FP condition flag from the FPU.
+                t_fpu = fpu.cond_ready + 1
+
+            issue = floor
+            if t_fetch > issue:
+                issue = t_fetch
+            if t_operand > issue:
+                issue = t_operand
+            if t_rob > issue:
+                issue = t_rob
+            if t_lsu > issue:
+                issue = t_lsu
+            if t_fpu > issue:
+                issue = t_fpu
+
+            # --------------------------------------------- stall attribution
+            if issue > floor:
+                if issue == t_fetch:
+                    stall[StallKind.ICACHE] += issue - floor
+                elif issue == t_operand:
+                    if operand_from_load:
+                        stall[StallKind.LOAD] += issue - floor
+                    else:
+                        stall[StallKind.PAIRING] += issue - floor
+                elif issue == t_rob:
+                    # The paper charges a full reorder buffer to the LSU
+                    # when the entry blocking retirement is a memory
+                    # instruction still waiting on its data ("most cycles
+                    # are spent waiting for data from the LSU").
+                    if rob_is_mem and rob_is_mem[0]:
+                        stall[StallKind.LSU] += issue - floor
+                    else:
+                        stall[StallKind.ROB_FULL] += issue - floor
+                elif issue == t_lsu:
+                    stall[StallKind.LSU] += issue - floor
+                else:
+                    stall[StallKind.FPU] += issue - floor
+
+            # ------------------------------------------------------ pairing
+            if issue == last_issue:
+                pairable = (
+                    issue_width == 2
+                    and slots_used == 1
+                    and pc == prev_pc + 4
+                    and (prev_pc & 7) == 0
+                    and not (is_mem and prev_was_mem)
+                )
+                if pairable:
+                    stats.dual_issued_pairs += 1
+                else:
+                    issue += 1
+                    stall[StallKind.PAIRING] += 1
+
+            if issue == last_issue:
+                slots_used += 1
+            else:
+                last_issue = issue
+                slots_used = 1
+            prev_pc = pc
+            prev_was_mem = is_mem
+
+            # ------------------------------------------------------ execute
+            if kind == _K_ALU or kind == _K_NOP or kind == _K_HALT:
+                complete = issue + 1
+                if dst >= 0:
+                    reg_ready[dst] = complete
+                    reg_from_load[dst] = False
+
+            elif kind == _K_LOAD or kind == _K_FP_LOAD:
+                stats.loads += 1
+                access = dport.start_access(issue + 1)
+                grant, slot = mshr.allocate(access)
+                access = grant
+                # The write cache is on chip and probed first; a forward
+                # from it never goes out to the external data cache.
+                if writecache.load_lookup(addr, access):
+                    data_ready = access + WC_FORWARD_LATENCY
+                elif dcache.lookup(addr):
+                    ready_at = dcache.ready_time(addr)
+                    data_ready = max(access, ready_at) + dcache_latency
+                else:
+                    line = addr >> line_shift
+                    arrival = inflight.get(line)
+                    if arrival is None:
+                        parr = pool.lookup(line, access, "D")
+                        if parr is None:
+                            pool.allocate(line, access, stream="D")
+                            arrival = biu.request(access, "dread")
+                        else:
+                            arrival = parr if parr > access else access
+                        fill_done = dport.occupy_for_fill(arrival)
+                        dcache.fill(addr, fill_done)
+                        inflight[line] = arrival
+                        if len(inflight) > 4096:
+                            inflight.clear()
+                    data_ready = arrival + 1
+                if kind == _K_LOAD:
+                    mshr.set_release(slot, data_ready)
+                    complete = data_ready
+                    if dst >= 0:
+                        reg_ready[dst] = data_ready
+                        reg_from_load[dst] = True
+                else:
+                    # FP load: honour load-queue backpressure, hand to FPU.
+                    eff = max(data_ready, fpu.load_data_floor())
+                    fpu.load(dst - 32, eff + 1, issue + FPU_TRANSFER)
+                    mshr.set_release(slot, eff + 1)
+                    complete = access + 1
+                    stats.fp_instructions += 1
+
+            elif kind == _K_STORE or kind == _K_FP_STORE:
+                stats.stores += 1
+                access = dport.start_access(issue + 1)
+                grant, slot = mshr.allocate(access)
+                access = grant
+                mshr.set_release(slot, access + dcache_latency)
+                if not dcache.lookup(addr):
+                    # Write-validate allocation: the coalescing write cache
+                    # assembles whole lines, so a store miss installs the
+                    # line without a memory fetch when the line drains.
+                    dcache.fill(addr, access + dcache_latency)
+                pool.drop_line(addr >> line_shift)
+                if kind == _K_FP_STORE:
+                    data_out = fpu.store(s2 - 32, issue + FPU_TRANSFER)
+                    complete = writecache.store(addr, access, fp_data_at=data_out)
+                    stats.fp_instructions += 1
+                else:
+                    complete = writecache.store(addr, access)
+
+            elif kind == _K_BRANCH or kind == _K_JUMP:
+                stats.branches += 1
+                complete = issue + 1
+                if dst >= 0:  # jal/jalr write the link register
+                    reg_ready[dst] = complete
+                    reg_from_load[dst] = False
+                taken = addr != 0
+                if taken:
+                    stats.taken_branches += 1
+                    register_jump = kind == _K_JUMP and s1 >= 0
+                    if register_jump or not folding:
+                        # One fetch bubble: the target index is not in the
+                        # NEXT field, so the front end redirects only after
+                        # the branch/jump executes.  (In-order flow would
+                        # have issued the post-delay-slot instruction at
+                        # issue+2; the bubble pushes it to issue+3.)
+                        redirect_apply_at = index + 2
+                        redirect_floor = issue + 3
+
+            elif kind in _FP_ARITH_KINDS:
+                stats.fp_instructions += 1
+                fd = dst - 32 if dst >= 32 else -1
+                fs = s1 - 32 if s1 >= 32 else -1
+                ft = s2 - 32 if s2 >= 32 else -1
+                fp_done = fpu.arith(kind, fd, fs, ft, issue + FPU_TRANSFER)
+                if cfg.fpu_precise_exceptions:
+                    # Conservative mode: hold the IPU reorder-buffer entry
+                    # until the FPU result (and its exception status) is
+                    # known — the decoupling queues stop paying off.
+                    complete = fp_done
+                else:
+                    complete = issue + 1  # transferred; imprecise exceptions
+
+            elif kind == _K_FP_MOVE:
+                stats.fp_instructions += 1
+                access = dport.start_access(issue + 1)
+                if dst >= 32:  # mtc1
+                    fpu.mtc1(dst - 32, access + 1, issue + FPU_TRANSFER)
+                    complete = access + 1
+                else:  # mfc1
+                    value_at = max(fpu.reg_read_floor(s1 - 32), issue) + 2
+                    complete = value_at
+                    if dst >= 0:
+                        reg_ready[dst] = value_at
+                        reg_from_load[dst] = True
+
+            else:  # pragma: no cover - exhaustive over Kind
+                complete = issue + 1
+
+            # ------------------------------------------------------- retire
+            retire = complete
+            if last_retire > retire:
+                retire = last_retire
+            window_floor = retire_window[0] + 1
+            if window_floor > retire:
+                retire = window_floor
+            last_retire = retire
+            retire_window.append(retire)
+            rob.append(retire)
+            # Only a *missing* memory instruction at the ROB head counts as
+            # an LSU wait; one completing at cache-hit speed that still
+            # backs up retirement is a genuine reorder-buffer-size stall.
+            rob_is_mem.append(is_mem and complete > issue + 1 + dcache_latency)
+            if len(rob) > rob_capacity:
+                rob.popleft()
+                rob_is_mem.popleft()
+
+        # ------------------------------------------------------------ drain
+        end = last_retire
+        end = max(end, fpu.last_event, mshr.all_free_at)
+        end = max(end, writecache.flush(end))
+
+        stats.instructions = len(trace)
+        stats.cycles = end
+        stats.icache_accesses = icache.accesses
+        stats.icache_hits = icache.hits
+        stats.dcache_accesses = dcache.accesses
+        stats.dcache_hits = dcache.hits
+        pool_stats = pool.stats
+        stats.iprefetch_lookups = pool_stats.i_lookups
+        stats.iprefetch_hits = pool_stats.i_hits
+        stats.dprefetch_lookups = pool_stats.d_lookups
+        stats.dprefetch_hits = pool_stats.d_hits
+        wc_stats = writecache.stats
+        stats.writecache_accesses = wc_stats.accesses
+        stats.writecache_hits = wc_stats.hits
+        stats.store_instructions = wc_stats.store_instructions
+        stats.store_transactions = wc_stats.store_transactions
+        stats.fpu_instructions = fpu.instructions
+        stats.fpu_busy_cycles = fpu.issue_stall_cycles
+        return SimulationResult(config=self.config, stats=stats)
+
+
+def simulate_trace(
+    trace: list[TraceRecord], config: MachineConfig
+) -> SimulationResult:
+    """Convenience wrapper: time ``trace`` on a machine built from ``config``."""
+    return AuroraProcessor(config).run(trace)

@@ -1,0 +1,171 @@
+"""Simulation statistics: CPI, stall breakdown, structure hit rates.
+
+The paper's Figure 6 decomposes stall cycles into four IPU stall
+conditions: instruction-cache stalls, load stalls (result of a load
+referenced before the LSU returned it), reorder-buffer-full stalls, and
+LSU stalls (LSU full / busy filling the cache).  :class:`StallKind` adds
+two bookkeeping categories the integer breakdown of the paper does not
+plot: PAIRING (cycles lost to dual-issue pairing restrictions — part of
+base CPI in the paper's accounting) and FPU (decoupling-queue
+backpressure and waits on FPU results, which only occur in FP codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class StallKind(Enum):
+    ICACHE = "icache"
+    LOAD = "load"
+    ROB_FULL = "rob_full"
+    LSU = "lsu"
+    PAIRING = "pairing"
+    FPU = "fpu"
+
+    @classmethod
+    def paper_categories(cls) -> tuple["StallKind", ...]:
+        """The four categories of Figure 6, in the paper's order."""
+        return (cls.ICACHE, cls.LOAD, cls.ROB_FULL, cls.LSU)
+
+
+@dataclass
+class SimStats:
+    """Everything one timing-simulation run measures."""
+
+    instructions: int = 0
+    cycles: int = 0
+    stall_cycles: dict[StallKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in StallKind}
+    )
+    # primary caches (per-reference counting, Gee et al. methodology)
+    icache_accesses: int = 0
+    icache_hits: int = 0
+    dcache_accesses: int = 0
+    dcache_hits: int = 0
+    # prefetch (Tables 3/4): hits among primary misses
+    iprefetch_lookups: int = 0
+    iprefetch_hits: int = 0
+    dprefetch_lookups: int = 0
+    dprefetch_hits: int = 0
+    # write cache (Table 5)
+    writecache_accesses: int = 0
+    writecache_hits: int = 0
+    store_instructions: int = 0
+    store_transactions: int = 0
+    # instruction classes
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    fp_instructions: int = 0
+    dual_issued_pairs: int = 0
+    # FPU-side
+    fpu_instructions: int = 0
+    fpu_busy_cycles: int = 0
+
+    # ------------------------------------------------------------ derived
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def icache_hit_rate(self) -> float:
+        return self.icache_hits / self.icache_accesses if self.icache_accesses else 0.0
+
+    @property
+    def dcache_hit_rate(self) -> float:
+        return self.dcache_hits / self.dcache_accesses if self.dcache_accesses else 0.0
+
+    @property
+    def iprefetch_hit_rate(self) -> float:
+        if not self.iprefetch_lookups:
+            return 0.0
+        return self.iprefetch_hits / self.iprefetch_lookups
+
+    @property
+    def dprefetch_hit_rate(self) -> float:
+        if not self.dprefetch_lookups:
+            return 0.0
+        return self.dprefetch_hits / self.dprefetch_lookups
+
+    @property
+    def writecache_hit_rate(self) -> float:
+        if not self.writecache_accesses:
+            return 0.0
+        return self.writecache_hits / self.writecache_accesses
+
+    @property
+    def store_traffic_ratio(self) -> float:
+        """Store BIU transactions / store instructions (Section 5.5)."""
+        if not self.store_instructions:
+            return 0.0
+        return self.store_transactions / self.store_instructions
+
+    @property
+    def dual_issue_rate(self) -> float:
+        """Fraction of instructions issued as the second half of a pair."""
+        if not self.instructions:
+            return 0.0
+        return 2 * self.dual_issued_pairs / self.instructions
+
+    def stall_cpi(self, kind: StallKind) -> float:
+        """Stall cycles per instruction for one category (Figure 6 bars)."""
+        if not self.instructions:
+            return 0.0
+        return self.stall_cycles[kind] / self.instructions
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(self.stall_cycles.values())
+
+    def check_invariants(self) -> None:
+        """Sanity relations every run must satisfy (used by tests)."""
+        assert self.cycles >= 0 and self.instructions >= 0
+        assert self.icache_hits <= self.icache_accesses
+        assert self.dcache_hits <= self.dcache_accesses
+        assert self.writecache_hits <= self.writecache_accesses
+        assert self.iprefetch_hits <= self.iprefetch_lookups
+        assert self.dprefetch_hits <= self.dprefetch_lookups
+        assert all(value >= 0 for value in self.stall_cycles.values())
+        assert self.total_stall_cycles <= max(self.cycles, 0) * 2
+
+    def summary(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"instructions      {self.instructions:>12,}",
+            f"cycles            {self.cycles:>12,}",
+            f"CPI               {self.cpi:>12.4f}",
+            f"I-cache hit rate  {self.icache_hit_rate:>12.2%}",
+            f"D-cache hit rate  {self.dcache_hit_rate:>12.2%}",
+            f"I-prefetch hits   {self.iprefetch_hit_rate:>12.2%}",
+            f"D-prefetch hits   {self.dprefetch_hit_rate:>12.2%}",
+            f"write-cache hits  {self.writecache_hit_rate:>12.2%}",
+            f"store traffic     {self.store_traffic_ratio:>12.2%}",
+        ]
+        for kind in StallKind:
+            lines.append(
+                f"stall[{kind.value:<9}] {self.stall_cpi(kind):>12.4f} CPI"
+            )
+        return "\n".join(lines)
+
+
+def average_cpi(stats_list: list[SimStats]) -> float:
+    """Arithmetic mean CPI across benchmark runs (the paper's averages)."""
+    if not stats_list:
+        return 0.0
+    return sum(s.cpi for s in stats_list) / len(stats_list)
+
+
+def cpi_range(stats_list: list[SimStats]) -> tuple[float, float, float]:
+    """(min, average, max) CPI — the paper's capped-bar presentation."""
+    if not stats_list:
+        return (0.0, 0.0, 0.0)
+    cpis = [s.cpi for s in stats_list]
+    return (min(cpis), sum(cpis) / len(cpis), max(cpis))

@@ -1,0 +1,183 @@
+"""The coalescing Write Cache (paper Section 2.3, "Write Cache").
+
+Four (2/4/8 by model) fully-associative lines of eight words each.  Stores
+that hit an allocated line coalesce — no new off-chip transaction; a miss
+allocates a line, evicting the least-recently-used dirty line as one BIU
+write transaction for the whole line.  Loads are looked up too (forwarding
+from pending stores); Table 5's hit rate "includes both load and store
+data accesses".
+
+Write validation (the micro-TLB behaviour): the MMU is off chip, so a
+store cannot retire until its address is known not to fault.  If the
+store's *page* field matches any valid resident line's page, no fault is
+possible and the store completes immediately; otherwise an MMU round trip
+validates the page, and the line cannot be evicted (nor the store retired)
+until the response arrives.
+
+Floating-point stores: their data is not ready when the address arrives
+(Section 2.3, "Floating Point Support") — the line holding an FP store
+cannot be evicted before the FP data lands, which `note_data_pending`
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.biu import BusInterfaceUnit
+
+
+@dataclass
+class _WCLine:
+    line: int = -1  # line number (byte address >> line shift)
+    page: int = -1
+    word_mask: int = 0  # bitmask of words written
+    dirty: bool = False
+    validated_at: int = 0  # store data may leave chip only after this
+    data_ready_at: int = 0  # FP store data arrival (0 = ready)
+    last_used: int = -1
+
+    @property
+    def valid(self) -> bool:
+        return self.line >= 0
+
+
+@dataclass
+class WriteCacheStats:
+    """Hit/traffic accounting for Table 5."""
+
+    accesses: int = 0  # load + store lookups
+    hits: int = 0
+    store_instructions: int = 0
+    store_transactions: int = 0  # line evictions sent over the BIU
+    validation_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Store BIU transactions per store instruction (lower is better)."""
+        if self.store_instructions == 0:
+            return 0.0
+        return self.store_transactions / self.store_instructions
+
+
+class WriteCache:
+    """Timestamp model of the coalescing write buffer."""
+
+    def __init__(
+        self,
+        lines: int,
+        line_bytes: int,
+        biu: BusInterfaceUnit,
+        page_bytes: int = 4096,
+        write_validation: bool = True,
+    ) -> None:
+        if lines < 1:
+            raise ValueError("write cache needs at least one line")
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+        self._page_shift = page_bytes.bit_length() - 1
+        self._biu = biu
+        self.write_validation = write_validation
+        self._lines = [_WCLine() for _ in range(lines)]
+        self._clock = 0
+        self.stats = WriteCacheStats()
+
+    # ------------------------------------------------------------------ API
+
+    def store(self, address: int, time: int, fp_data_at: int = 0) -> int:
+        """Process a store to ``address`` at ``time``.
+
+        Returns the store's *completion* time — when it is known the store
+        cannot fault and it can retire from the reorder buffer.  For FP
+        stores, ``fp_data_at`` is when the data will arrive from the FPU;
+        the line is held un-evictable until then.
+        """
+        self.stats.accesses += 1
+        self.stats.store_instructions += 1
+        line_number = address >> self._line_shift
+        word = (address >> 2) & ((self.line_bytes >> 2) - 1)
+        entry = self._find(line_number)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.word_mask |= 1 << word
+            entry.dirty = True
+            entry.last_used = self._bump()
+            if fp_data_at > entry.data_ready_at:
+                entry.data_ready_at = fp_data_at
+            return max(time + 1, entry.validated_at)
+
+        victim = min(self._lines, key=lambda ln: ln.last_used)
+        evict_done = self._evict(victim, time)
+        page = address >> self._page_shift
+        validated_at = time + 1
+        if self.write_validation and not self._page_resident(page):
+            # MMU round trip before the store may retire.
+            validated_at = self._biu.request(time, "mmu")
+            self.stats.validation_misses += 1
+        victim.line = line_number
+        victim.page = page
+        victim.word_mask = 1 << word
+        victim.dirty = True
+        victim.validated_at = validated_at
+        victim.data_ready_at = fp_data_at
+        victim.last_used = self._bump()
+        return max(time + 1, evict_done, validated_at)
+
+    def load_lookup(self, address: int, time: int) -> bool:
+        """Check whether a load can be serviced from the write cache.
+
+        Counts toward the Table 5 hit rate.  A hit requires the word to
+        actually have been written (forwarding whole-line misses that only
+        share the line would return stale data).
+        """
+        self.stats.accesses += 1
+        line_number = address >> self._line_shift
+        word = (address >> 2) & ((self.line_bytes >> 2) - 1)
+        entry = self._find(line_number)
+        if entry is not None and entry.word_mask & (1 << word):
+            self.stats.hits += 1
+            entry.last_used = self._bump()
+            return True
+        return False
+
+    def contains_line(self, line_number: int) -> bool:
+        return self._find(line_number) is not None
+
+    def flush(self, time: int) -> int:
+        """Evict every dirty line (end-of-run drain). Returns drain time."""
+        done = time
+        for entry in self._lines:
+            done = max(done, self._evict(entry, time))
+            entry.line = -1
+            entry.word_mask = 0
+            entry.dirty = False
+        return done
+
+    # ------------------------------------------------------------- internals
+
+    def _find(self, line_number: int) -> _WCLine | None:
+        for entry in self._lines:
+            if entry.valid and entry.line == line_number:
+                return entry
+        return None
+
+    def _page_resident(self, page: int) -> bool:
+        return any(entry.valid and entry.page == page for entry in self._lines)
+
+    def _evict(self, entry: _WCLine, time: int) -> int:
+        """Write the victim line back over the BIU. Returns completion."""
+        if not entry.valid or not entry.dirty:
+            return time
+        # Cannot evict before validation completes or FP data arrives.
+        ready = max(time, entry.validated_at, entry.data_ready_at)
+        done = self._biu.request(ready, "write")
+        self.stats.store_transactions += 1
+        return done
+
+    def _bump(self) -> int:
+        self._clock += 1
+        return self._clock

@@ -1,0 +1,188 @@
+"""Register-Bit-Equivalent (RBE) cost model — paper Table 2.
+
+The RBE model of Mulder et al. normalises area to the cost of one 1-bit
+static latch (~16 transistors, ~3600 um^2 in the GaAs DCFL process).
+Table 2 gives the measured per-element costs from the Aurora III layout:
+
+    IPU element                      RBE       FPU element             RBE
+    1 KB cache block               8,000       data resource block   4,000
+    2 KB cache block              12,000       queue entry (instr)      50
+    4 KB cache block              20,000       queue entry (data)       80
+    write-cache line                 320       add unit (1-5 cy)  5000-1250
+    prefetch line                    320       mul unit (1-5 cy)  6875-2500
+    reorder-buffer entry             200       div unit (10-30 cy) 2500-625
+    MSHR entry                        50       cvt unit (1-5 cy)  2500-1250
+    integer execution pipeline     8,192
+
+Unit costs fall as latency rises (less parallel hardware); we linearly
+interpolate between the endpoints the paper gives.  Removing a unit's
+pipeline latches saves ~25 % of its area (Section 5.10), which the model
+applies for non-pipelined add/multiply units.
+
+Per the paper, interconnect overhead is assumed to scale with the sum of
+element areas, and the off-chip data cache is *not* costed (it lives on
+separate SRAM chips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FPUConfig, MachineConfig
+
+#: Cache-block cost by size in bytes (Table 2, measured points).
+CACHE_BLOCK_RBE = {1024: 8_000.0, 2048: 12_000.0, 4096: 20_000.0}
+WRITE_CACHE_LINE_RBE = 320.0
+PREFETCH_LINE_RBE = 320.0
+ROB_ENTRY_RBE = 200.0
+MSHR_ENTRY_RBE = 50.0
+INTEGER_PIPELINE_RBE = 8_192.0
+
+FPU_DATA_RESOURCE_RBE = 4_000.0
+FPU_IQ_ENTRY_RBE = 50.0
+FPU_DATA_QUEUE_ENTRY_RBE = 80.0
+#: (min_latency, cost_at_min, max_latency, cost_at_max) per unit.
+FPU_UNIT_RANGES = {
+    "add": (1, 5_000.0, 5, 1_250.0),
+    "mul": (1, 6_875.0, 5, 2_500.0),
+    "div": (10, 2_500.0, 30, 625.0),
+    "cvt": (1, 2_500.0, 5, 1_250.0),
+}
+#: Fraction of a unit's area spent on pipeline latches (Section 5.10).
+PIPELINE_LATCH_FRACTION = 0.25
+
+#: One RBE in square microns / transistors, for absolute-area estimates.
+RBE_AREA_UM2 = 3600.0
+RBE_TRANSISTORS = 16.0
+
+
+class CostError(ValueError):
+    """Raised for sizes the model cannot cost."""
+
+
+def cache_block_cost(size_bytes: int) -> float:
+    """RBE cost of an on-chip cache block of the given size.
+
+    Exact at the Table 2 points (1/2/4 KB); piecewise-linear between
+    them and linearly extrapolated outside (using the nearest segment's
+    slope), so sensitivity sweeps can cost non-tabled sizes.
+    """
+    if size_bytes <= 0:
+        raise CostError("cache size must be positive")
+    points = sorted(CACHE_BLOCK_RBE.items())
+    if size_bytes in CACHE_BLOCK_RBE:
+        return CACHE_BLOCK_RBE[size_bytes]
+    # locate the segment
+    if size_bytes < points[0][0]:
+        (x0, y0), (x1, y1) = points[0], points[1]
+    elif size_bytes > points[-1][0]:
+        (x0, y0), (x1, y1) = points[-2], points[-1]
+    else:
+        (x0, y0), (x1, y1) = points[0], points[1]
+        for left, right in zip(points, points[1:]):
+            if left[0] <= size_bytes <= right[0]:
+                (x0, y0), (x1, y1) = left, right
+                break
+    slope = (y1 - y0) / (x1 - x0)
+    cost = y0 + slope * (size_bytes - x0)
+    return max(cost, 0.0)
+
+
+def fp_unit_cost(unit: str, latency: int, pipelined: bool = True) -> float:
+    """RBE cost of one FPU functional unit at the given latency."""
+    try:
+        lat_min, cost_max, lat_max, cost_min = FPU_UNIT_RANGES[unit]
+    except KeyError:
+        raise CostError(f"unknown FPU unit {unit!r}") from None
+    clamped = min(max(latency, lat_min), lat_max)
+    fraction = (clamped - lat_min) / (lat_max - lat_min)
+    cost = cost_max + fraction * (cost_min - cost_max)
+    if not pipelined:
+        cost *= 1.0 - PIPELINE_LATCH_FRACTION
+    return cost
+
+
+@dataclass
+class CostBreakdown:
+    """Per-element RBE costs plus the total."""
+
+    items: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, cost: float) -> None:
+        self.items[name] = self.items.get(name, 0.0) + cost
+
+    @property
+    def total(self) -> float:
+        return sum(self.items.values())
+
+    @property
+    def area_um2(self) -> float:
+        return self.total * RBE_AREA_UM2
+
+    @property
+    def transistors(self) -> float:
+        return self.total * RBE_TRANSISTORS
+
+    def render(self, title: str = "cost") -> str:
+        lines = [f"{title} (RBE)"]
+        for name, cost in sorted(self.items.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<28} {cost:>10,.0f}")
+        lines.append(f"  {'TOTAL':<28} {self.total:>10,.0f}")
+        return "\n".join(lines)
+
+
+def ipu_cost(config: MachineConfig, include_prefetch: bool = True) -> CostBreakdown:
+    """Cost the IPU side of a machine configuration (Figure 4/5/8 axes).
+
+    The external data cache is excluded, exactly as in the paper's
+    analysis (Section 4.2): die-size limits put it on separate SRAM
+    chips, so on-chip resource trade-offs do not include it.
+    """
+    breakdown = CostBreakdown()
+    breakdown.add("instruction cache", cache_block_cost(config.icache_bytes))
+    breakdown.add(
+        "write cache", config.writecache_lines * WRITE_CACHE_LINE_RBE
+    )
+    if include_prefetch and config.prefetch_enabled:
+        lines = config.prefetch_buffers * config.prefetch_line_depth
+        breakdown.add("prefetch buffers", lines * PREFETCH_LINE_RBE)
+    breakdown.add("reorder buffer", config.rob_entries * ROB_ENTRY_RBE)
+    breakdown.add("MSHRs", config.mshr_entries * MSHR_ENTRY_RBE)
+    breakdown.add(
+        "execution pipelines", config.issue_width * INTEGER_PIPELINE_RBE
+    )
+    return breakdown
+
+
+def fpu_cost(config: FPUConfig) -> CostBreakdown:
+    """Cost the FPU side (Figure 9's x-axes)."""
+    breakdown = CostBreakdown()
+    breakdown.add("register file + scoreboard", FPU_DATA_RESOURCE_RBE)
+    breakdown.add(
+        "instruction queue", config.instruction_queue * FPU_IQ_ENTRY_RBE
+    )
+    breakdown.add("load queue", config.load_queue * FPU_DATA_QUEUE_ENTRY_RBE)
+    breakdown.add("store queue", config.store_queue * FPU_DATA_QUEUE_ENTRY_RBE)
+    breakdown.add("reorder buffer", config.rob_entries * ROB_ENTRY_RBE)
+    breakdown.add(
+        "add unit", fp_unit_cost("add", config.add_latency, config.add_pipelined)
+    )
+    breakdown.add(
+        "multiply unit",
+        fp_unit_cost("mul", config.mul_latency, config.mul_pipelined),
+    )
+    breakdown.add("divide unit", fp_unit_cost("div", config.div_latency))
+    breakdown.add(
+        "convert unit",
+        fp_unit_cost("cvt", config.cvt_latency, config.cvt_pipelined),
+    )
+    return breakdown
+
+
+def machine_cost(config: MachineConfig, include_fpu: bool = False) -> CostBreakdown:
+    """Total machine cost; the integer studies exclude the FPU."""
+    breakdown = ipu_cost(config)
+    if include_fpu:
+        for name, cost in fpu_cost(config.fpu).items.items():
+            breakdown.add("FPU " + name, cost)
+    return breakdown

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper table/figure.
+
+* :mod:`repro.experiments.fig1_clock_trend` — Figure 1
+* :mod:`repro.experiments.table2_cost` — Tables 1-2
+* :mod:`repro.experiments.fig4_issue` — Figure 4
+* :mod:`repro.experiments.prefetch_tables` — Tables 3-4
+* :mod:`repro.experiments.fig5_prefetch` — Figure 5
+* :mod:`repro.experiments.fig6_stalls` — Figure 6
+* :mod:`repro.experiments.fig7_mshr` — Figure 7
+* :mod:`repro.experiments.writecache_table` — Table 5
+* :mod:`repro.experiments.fig8_design_space` — Figure 8
+* :mod:`repro.experiments.hit_rates` — Section 5's hit-rate check
+* :mod:`repro.experiments.table6_fpu_issue` — Table 6
+* :mod:`repro.experiments.fig9_fpu` — Figure 9 + Section 5.10 ablation
+* :mod:`repro.experiments.run_all` — run everything
+* :mod:`repro.experiments.cli` — the ``aurora-sim`` command
+"""

@@ -1,0 +1,133 @@
+"""Command-line interface: ``aurora-sim``.
+
+Subcommands::
+
+    aurora-sim run <workload> [--model baseline] [--issue 2] [--latency 17]
+    aurora-sim suite [--suite int|fp] [--model baseline]
+    aurora-sim experiments [--only fig4 table6 ...] [--factor 0.5] [--out d/]
+    aurora-sim cost [--model baseline] [--issue 2]
+    aurora-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import (
+    BASELINE,
+    LARGE,
+    RECOMMENDED,
+    SMALL,
+    MachineConfig,
+)
+from repro.cost.rbe import fpu_cost, ipu_cost
+from repro.workloads.registry import all_specs
+
+_MODELS = {
+    "small": SMALL,
+    "baseline": BASELINE,
+    "large": LARGE,
+    "recommended": RECOMMENDED,
+}
+
+
+def _configure(args: argparse.Namespace) -> MachineConfig:
+    config = _MODELS[args.model]
+    config = config.with_(issue_width=args.issue, mem_latency=args.latency)
+    if getattr(args, "no_prefetch", False):
+        config = config.without_prefetch()
+    if getattr(args, "mshrs", None):
+        config = config.with_mshrs(args.mshrs)
+    return config
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=sorted(_MODELS), default="baseline")
+    parser.add_argument("--issue", type=int, choices=(1, 2), default=2)
+    parser.add_argument("--latency", type=int, default=17)
+    parser.add_argument("--no-prefetch", action="store_true")
+    parser.add_argument("--mshrs", type=int, default=None)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import simulate_workload
+
+    config = _configure(args)
+    result = simulate_workload(args.workload, config, scale=args.scale)
+    print(f"workload:  {args.workload}")
+    print(f"machine:   {config.label}")
+    print(result.stats.summary())
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.api import suite_results
+
+    config = _configure(args)
+    results = suite_results(config, suite=args.suite)
+    print(f"machine: {config.label}")
+    for name, result in results.items():
+        print(f"  {name:<10} CPI={result.cpi:.3f}")
+    average = sum(r.cpi for r in results.values()) / len(results)
+    print(f"  {'average':<10} CPI={average:.3f}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import run_all
+
+    run_all(factor=args.factor, out_dir=args.out, only=args.only)
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    config = _configure(args)
+    print(ipu_cost(config).render(f"IPU cost: {config.label}"))
+    print()
+    print(fpu_cost(config.fpu).render("FPU cost"))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for spec in all_specs():
+        print(
+            f"{spec.name:<10} [{spec.suite}] scale={spec.default_scale:<6} "
+            f"{spec.description}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="aurora-sim", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--scale", type=int, default=None)
+    _add_machine_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_suite = sub.add_parser("suite", help="simulate a whole suite")
+    p_suite.add_argument("--suite", choices=("int", "fp"), default="int")
+    _add_machine_args(p_suite)
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper experiments")
+    p_exp.add_argument("--factor", type=float, default=1.0)
+    p_exp.add_argument("--out", default=None)
+    p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_cost = sub.add_parser("cost", help="RBE cost of a configuration")
+    _add_machine_args(p_cost)
+    p_cost.set_defaults(func=cmd_cost)
+
+    p_list = sub.add_parser("list", help="list registered workloads")
+    p_list.set_defaults(func=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Shared infrastructure for the experiment drivers.
+
+Each paper table/figure has a driver module exposing ``run(...)`` that
+returns a result object with structured data plus ``render()`` for the
+paper-style text output.  This module holds what they share: scaled trace
+access, suite sweeps, and plain-text table/figure rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.core.processor import simulate_trace
+from repro.core.stats import SimStats
+from repro.func.trace import TraceRecord
+from repro.workloads.registry import FP_SUITE, INTEGER_SUITE, get_spec, get_trace
+
+#: Minimum sensible scale per workload when shrinking via ``factor``.
+_MIN_SCALES = {
+    "espresso": 12,
+    "li": 120,
+    "eqntott": 48,
+    "compress": 1100,
+    "sc": 8,
+    "gcc": 200,
+    "alvinn": 32,
+    "doduc": 400,
+    "ear": 24,
+    "hydro2d": 10,
+    "mdljdp2": 10,
+    "nasa7": 6,
+    "ora": 64,
+    "spice2g6": 32,
+    "su2cor": 48,
+}
+
+
+def scaled_trace(name: str, factor: float = 1.0) -> list[TraceRecord]:
+    """Trace for ``name`` at ``factor`` x its default scale.
+
+    ``factor < 1`` shrinks runs for quick benchmarking; workload-specific
+    minimums and parity constraints (nasa7's even dimension) are honoured.
+    """
+    if factor == 1.0:
+        return get_trace(name)
+    spec = get_spec(name)
+    scale = max(_MIN_SCALES.get(name, 8), int(spec.default_scale * factor))
+    if name in ("nasa7", "ora") and scale % 2:
+        scale += 1  # these kernels process two elements per iteration
+    return get_trace(name, scale)
+
+
+def suite_stats(
+    config: MachineConfig,
+    suite: str = "int",
+    factor: float = 1.0,
+) -> dict[str, SimStats]:
+    """Run every workload in a suite on ``config``; returns per-name stats."""
+    names = INTEGER_SUITE if suite == "int" else FP_SUITE
+    results = {}
+    for name in names:
+        trace = scaled_trace(name, factor)
+        results[name] = simulate_trace(trace, config).stats
+    return results
+
+
+@dataclass
+class CpiSummary:
+    """Min / average / max CPI over a benchmark suite on one config —
+    the capped-bar presentation of Figures 4, 5 and 7."""
+
+    label: str
+    cost: float
+    cpi_min: float
+    cpi_avg: float
+    cpi_max: float
+    per_benchmark: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_stats(
+        cls, label: str, cost: float, stats: dict[str, SimStats]
+    ) -> "CpiSummary":
+        cpis = {name: s.cpi for name, s in stats.items()}
+        values = list(cpis.values())
+        return cls(
+            label=label,
+            cost=cost,
+            cpi_min=min(values),
+            cpi_avg=sum(values) / len(values),
+            cpi_max=max(values),
+            per_benchmark=cpis,
+        )
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Render a plain-text table with aligned columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_capped_bars(
+    summaries: list[CpiSummary],
+    title: str,
+    x_label: str = "cost (RBE)",
+) -> str:
+    """Text rendition of the paper's cost-vs-CPI capped-bar plots.
+
+    One line per configuration: cost, then min - avg - max CPI.
+    """
+    rows = [
+        [
+            s.label,
+            f"{s.cost:,.0f}",
+            f"{s.cpi_min:.3f}",
+            f"{s.cpi_avg:.3f}",
+            f"{s.cpi_max:.3f}",
+        ]
+        for s in summaries
+    ]
+    return format_table(
+        ["configuration", x_label, "CPI min", "CPI avg", "CPI max"],
+        rows,
+        title=title,
+    )
+
+
+def percent(value: float) -> str:
+    return f"{100 * value:.2f}"

@@ -1,0 +1,137 @@
+"""Figure 1: single-chip microprocessor clock frequencies at ISSCC.
+
+The paper's motivation figure plots clock rates of microprocessors
+presented at the eleven ISSCC conferences before 1994 and draws a ~40 %
+per-year growth line.  We reproduce it from a transcribed dataset of
+representative ISSCC-era single-chip microprocessor clock rates
+(1984-1994, MHz) and fit the exponential trend with a least-squares fit
+in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: (ISSCC year, processor, MHz) — representative presentations per year.
+CLOCK_DATA: tuple[tuple[int, str, float], ...] = (
+    (1984, "Motorola 68020", 16.0),
+    (1984, "NS32032", 10.0),
+    (1985, "Intel 386", 16.0),
+    (1985, "Clipper C100", 33.0),
+    (1986, "MIPS R2000", 12.5),
+    (1986, "Z80000", 25.0),
+    (1987, "Acorn ARM2", 12.0),
+    (1987, "CVAX", 25.0),
+    (1988, "MIPS R3000", 25.0),
+    (1988, "Am29000", 30.0),
+    (1989, "Intel 486", 25.0),
+    (1989, "i860", 40.0),
+    (1990, "IBM RS/6000 RIOS", 30.0),
+    (1990, "SPARC (BIT)", 66.0),
+    (1991, "MIPS R4000", 50.0),
+    (1991, "HP PA-RISC 7100", 99.0),
+    (1992, "SuperSPARC", 40.0),
+    (1992, "DEC Alpha 21064", 150.0),
+    (1993, "Pentium", 66.0),
+    (1993, "Alpha 21064A", 200.0),
+    (1994, "PowerPC 604", 100.0),
+    (1994, "Alpha 21164 (announced)", 300.0),
+)
+
+
+@dataclass
+class ClockTrend:
+    """Exponential fit f(year) = a * growth^(year - year0)."""
+
+    year0: int
+    base_mhz: float
+    annual_growth: float  # e.g. 1.40 for +40 %/year
+
+    def predict(self, year: float) -> float:
+        return self.base_mhz * self.annual_growth ** (year - self.year0)
+
+    @property
+    def growth_percent(self) -> float:
+        return 100.0 * (self.annual_growth - 1.0)
+
+
+def fit_trend(
+    data: tuple[tuple[int, str, float], ...] = CLOCK_DATA,
+    fastest_only: bool = False,
+) -> ClockTrend:
+    """Least-squares exponential fit in log space.
+
+    The paper's 40 %/year line tracks the leading edge, so
+    ``fastest_only=True`` fits one point per year (the fastest chip);
+    the default fits the whole cloud.
+    """
+    if fastest_only:
+        fastest: dict[int, float] = {}
+        for year, _, mhz in data:
+            if mhz > fastest.get(year, 0.0):
+                fastest[year] = mhz
+        data = tuple((year, "fastest", mhz) for year, mhz in sorted(fastest.items()))
+    years = [float(y) for y, _, _ in data]
+    logs = [math.log(mhz) for _, _, mhz in data]
+    n = len(years)
+    mean_y = sum(years) / n
+    mean_l = sum(logs) / n
+    cov = sum((y - mean_y) * (l - mean_l) for y, l in zip(years, logs))
+    var = sum((y - mean_y) ** 2 for y in years)
+    slope = cov / var
+    intercept = mean_l - slope * mean_y
+    year0 = int(min(years))
+    return ClockTrend(
+        year0=year0,
+        base_mhz=math.exp(intercept + slope * year0),
+        annual_growth=math.exp(slope),
+    )
+
+
+def fastest_vs_slowest_ratio(
+    data: tuple[tuple[int, str, float], ...] = CLOCK_DATA,
+) -> dict[int, float]:
+    """Per-year fastest/slowest ratio (the paper notes it is >= 2 and
+    widening)."""
+    by_year: dict[int, list[float]] = {}
+    for year, _, mhz in data:
+        by_year.setdefault(year, []).append(mhz)
+    return {
+        year: max(values) / min(values)
+        for year, values in sorted(by_year.items())
+        if len(values) >= 2
+    }
+
+
+@dataclass
+class Fig1Result:
+    trend: ClockTrend  # leading-edge fit (the paper's line)
+    cloud_trend: ClockTrend  # fit over every presented chip
+    ratios: dict[int, float]
+
+    def render(self) -> str:
+        lines = ["Figure 1: ISSCC single-chip microprocessor clock frequencies"]
+        lines.append(f"{'year':>5}  {'processor':<26} {'MHz':>6}  trend")
+        for year, name, mhz in CLOCK_DATA:
+            lines.append(
+                f"{year:>5}  {name:<26} {mhz:>6.1f}  {self.trend.predict(year):>6.1f}"
+            )
+        lines.append(
+            f"leading-edge growth: {self.trend.growth_percent:.1f}% per year "
+            "(paper's line: ~40% per year)"
+        )
+        lines.append(
+            f"whole-cloud growth:  {self.cloud_trend.growth_percent:.1f}% per year"
+        )
+        for year, ratio in self.ratios.items():
+            lines.append(f"  {year}: fastest/slowest = {ratio:.1f}x")
+        return "\n".join(lines)
+
+
+def run() -> Fig1Result:
+    return Fig1Result(
+        trend=fit_trend(fastest_only=True),
+        cloud_trend=fit_trend(),
+        ratios=fastest_vs_slowest_ratio(),
+    )

@@ -1,0 +1,79 @@
+"""Figure 4: dual- vs single-issue performance for the three models.
+
+For each secondary latency (17 and 35 cycles), six systems: the small,
+baseline and large models in single- and dual-issue variants.  Each point
+is the (RBE cost, min/avg/max CPI over the integer suite) pair of the
+paper's capped-bar plot.  The headline claims checked in EXPERIMENTS.md:
+
+* at 17 cycles, dual issue helps the baseline and large models; the
+  single-issue baseline beats the dual-issue small model at similar cost,
+* the dual-issue large model is best overall, at roughly +20 % cost over
+  its single-issue variant,
+* at 35 cycles, the curves converge (dual issue ~10 % better than single).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TABLE1_MODELS, MachineConfig
+from repro.cost.rbe import ipu_cost
+from repro.experiments.common import (
+    CpiSummary,
+    format_capped_bars,
+    suite_stats,
+)
+
+
+@dataclass
+class Fig4Result:
+    #: latency -> list of six CpiSummary points (3 single, then 3 dual)
+    by_latency: dict[int, list[CpiSummary]] = field(default_factory=dict)
+
+    def summary(self, latency: int, label: str) -> CpiSummary:
+        for point in self.by_latency[latency]:
+            if point.label == label:
+                return point
+        raise KeyError(label)
+
+    def dual_issue_gain(self, latency: int, model: str) -> float:
+        """Average-CPI improvement of dual over single for a model."""
+        single = self.summary(latency, f"{model}/single")
+        dual = self.summary(latency, f"{model}/dual")
+        return 1.0 - dual.cpi_avg / single.cpi_avg
+
+    def render(self) -> str:
+        sections = []
+        for latency, summaries in sorted(self.by_latency.items()):
+            sections.append(
+                format_capped_bars(
+                    summaries,
+                    title=f"Figure 4: {latency}-cycle secondary latency",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run(
+    latencies: tuple[int, ...] = (17, 35),
+    factor: float = 1.0,
+    models: tuple[MachineConfig, ...] = TABLE1_MODELS,
+) -> Fig4Result:
+    result = Fig4Result()
+    for latency in latencies:
+        points: list[CpiSummary] = []
+        for issue_width, issue_name in ((1, "single"), (2, "dual")):
+            for model in models:
+                config = model.with_(
+                    issue_width=issue_width, mem_latency=latency
+                )
+                stats = suite_stats(config, suite="int", factor=factor)
+                points.append(
+                    CpiSummary.from_stats(
+                        f"{model.name}/{issue_name}",
+                        ipu_cost(config).total,
+                        stats,
+                    )
+                )
+        result.by_latency[latency] = points
+    return result

@@ -1,0 +1,92 @@
+"""Figure 5: effects of removing the prefetch buffers.
+
+All three models, dual issue, with and without stream buffers, at 17 and
+35 cycle secondary latencies.  The paper's findings, checked in
+EXPERIMENTS.md:
+
+* prefetch barely helps the small model (two buffers thrash between the
+  I and D streams),
+* the baseline model improves ~11 % at 17 cycles and ~19 % at 35,
+* the large model improves ~11 % / ~17 %,
+* worst-case (max) CPI improves even more than the average,
+* the buffers are cheap (~20 % of the baseline I-cache's area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TABLE1_MODELS, MachineConfig
+from repro.cost.rbe import ipu_cost
+from repro.experiments.common import (
+    CpiSummary,
+    format_capped_bars,
+    suite_stats,
+)
+
+
+@dataclass
+class Fig5Result:
+    #: latency -> {"prefetch": [3 summaries], "no_prefetch": [3 summaries]}
+    by_latency: dict[int, dict[str, list[CpiSummary]]] = field(
+        default_factory=dict
+    )
+
+    def prefetch_gain(self, latency: int, model: str) -> float:
+        """Average-CPI improvement from adding prefetch to a model."""
+        with_pf = self._find(latency, "prefetch", model)
+        without = self._find(latency, "no_prefetch", model)
+        return 1.0 - with_pf.cpi_avg / without.cpi_avg
+
+    def worst_case_gain(self, latency: int, model: str) -> float:
+        with_pf = self._find(latency, "prefetch", model)
+        without = self._find(latency, "no_prefetch", model)
+        return 1.0 - with_pf.cpi_max / without.cpi_max
+
+    def _find(self, latency: int, variant: str, model: str) -> CpiSummary:
+        for point in self.by_latency[latency][variant]:
+            if point.label.startswith(model):
+                return point
+        raise KeyError((latency, variant, model))
+
+    def render(self) -> str:
+        sections = []
+        for latency, variants in sorted(self.by_latency.items()):
+            rows = variants["no_prefetch"] + variants["prefetch"]
+            sections.append(
+                format_capped_bars(
+                    rows,
+                    title=(
+                        f"Figure 5: prefetch removal, {latency}-cycle latency "
+                        "(dual issue; hollow caps = prefetch)"
+                    ),
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run(
+    latencies: tuple[int, ...] = (17, 35),
+    factor: float = 1.0,
+    models: tuple[MachineConfig, ...] = TABLE1_MODELS,
+) -> Fig5Result:
+    result = Fig5Result()
+    for latency in latencies:
+        variants: dict[str, list[CpiSummary]] = {
+            "prefetch": [],
+            "no_prefetch": [],
+        }
+        for model in models:
+            for enabled, key in ((True, "prefetch"), (False, "no_prefetch")):
+                config = model.with_(
+                    issue_width=2,
+                    mem_latency=latency,
+                    prefetch_enabled=enabled,
+                )
+                stats = suite_stats(config, suite="int", factor=factor)
+                label = f"{model.name}/{'pf' if enabled else 'nopf'}"
+                variants[key].append(
+                    CpiSummary.from_stats(label, ipu_cost(config).total, stats)
+                )
+        result.by_latency[latency] = variants
+    return result

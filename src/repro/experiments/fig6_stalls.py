@@ -1,0 +1,69 @@
+"""Figure 6: breakdown of IPU stall penalties.
+
+Per model (dual issue, 17-cycle latency), the CPI penalty from each of
+the four stall conditions: instruction-cache stalls, load stalls,
+reorder-buffer-full stalls, and LSU-busy stalls.  Paper findings checked
+in EXPERIMENTS.md:
+
+* in the small model, LSU stalls dominate (a single MSHR serialises the
+  LSU),
+* in the base and large models most stalls are I-cache and load stalls,
+* ROB size matters little because load stalls happen before the ROB
+  fills,
+* in the large model the residual load stalls come from the pipelined
+  data cache's three-cycle latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TABLE1_MODELS, MachineConfig
+from repro.core.stats import StallKind
+from repro.experiments.common import format_table, suite_stats
+
+
+@dataclass
+class Fig6Result:
+    #: model name -> {stall kind -> average CPI penalty over the suite}
+    penalties: dict[str, dict[StallKind, float]] = field(default_factory=dict)
+    total_cpi: dict[str, float] = field(default_factory=dict)
+
+    def dominant(self, model: str) -> StallKind:
+        by_kind = self.penalties[model]
+        return max(by_kind, key=by_kind.get)
+
+    def render(self) -> str:
+        kinds = StallKind.paper_categories()
+        headers = ["model"] + [k.value for k in kinds] + ["total CPI"]
+        rows = []
+        for model, by_kind in self.penalties.items():
+            rows.append(
+                [model]
+                + [f"{by_kind[k]:.3f}" for k in kinds]
+                + [f"{self.total_cpi[model]:.3f}"]
+            )
+        return format_table(
+            headers,
+            rows,
+            title="Figure 6: stall-penalty breakdown (CPI, suite average)",
+        )
+
+
+def run(
+    latency: int = 17,
+    factor: float = 1.0,
+    models: tuple[MachineConfig, ...] = TABLE1_MODELS,
+) -> Fig6Result:
+    result = Fig6Result()
+    for model in models:
+        config = model.with_(issue_width=2, mem_latency=latency)
+        stats = suite_stats(config, suite="int", factor=factor)
+        count = len(stats)
+        by_kind = {
+            kind: sum(s.stall_cpi(kind) for s in stats.values()) / count
+            for kind in StallKind.paper_categories()
+        }
+        result.penalties[model.name] = by_kind
+        result.total_cpi[model.name] = sum(s.cpi for s in stats.values()) / count
+    return result

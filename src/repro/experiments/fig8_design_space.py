@@ -1,0 +1,128 @@
+"""Figure 8: the full cost/performance design space on espresso.
+
+All simulation points for the 17-cycle latency espresso runs: four
+single-issue systems of various sizes (squares) and, for each I-cache
+size (1 K / 2 K / 4 K), eight dual-issue systems sweeping the other
+memory elements (diamonds / triangles / circles).  The paper labels
+five noteworthy points:
+
+* **A** — configurations with a single MSHR: they sit well above
+  everything else at the same cost (blocking caches are bad),
+* **B** — the large model: a performance plateau where extra cost buys
+  little,
+* **C**/**D** — a pair differing only in prefetch (D adds it),
+* **E** — the recommendation: 4 KB I-cache with baseline-sized other
+  elements and 4 MSHRs (nearly large-model performance at much lower
+  cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import (
+    BASELINE,
+    LARGE,
+    RECOMMENDED,
+    SMALL,
+    MachineConfig,
+)
+from repro.core.processor import simulate_trace
+from repro.cost.rbe import ipu_cost
+from repro.experiments.common import format_table, scaled_trace
+
+_MODEL_BY_ICACHE = {1024: SMALL, 2048: BASELINE, 4096: LARGE}
+
+
+@dataclass
+class DesignPoint:
+    label: str
+    config: MachineConfig
+    cost: float
+    cpi: float
+    marker: str = ""  # A/B/C/D/E annotations
+
+
+@dataclass
+class Fig8Result:
+    points: list[DesignPoint] = field(default_factory=list)
+
+    def marked(self, marker: str) -> list[DesignPoint]:
+        return [p for p in self.points if p.marker == marker]
+
+    def best(self) -> DesignPoint:
+        return min(self.points, key=lambda p: p.cpi)
+
+    def render(self) -> str:
+        rows = [
+            [p.label, f"{p.cost:,.0f}", f"{p.cpi:.3f}", p.marker]
+            for p in sorted(self.points, key=lambda p: p.cost)
+        ]
+        return format_table(
+            ["configuration", "cost (RBE)", "CPI", "mark"],
+            rows,
+            title="Figure 8: espresso full cost-performance (17-cycle latency)",
+        )
+
+
+def _design_points() -> list[tuple[str, MachineConfig, str]]:
+    """The catalogue of configurations plotted in Figure 8."""
+    points: list[tuple[str, MachineConfig, str]] = []
+    # Four single-issue systems of various sizes (the squares).
+    for model in (SMALL, BASELINE, LARGE, RECOMMENDED):
+        marker = ""
+        config = model.single_issue().with_latency(17)
+        if config.mshr_entries == 1:
+            marker = "A"
+        points.append((f"{model.name}/single", config, marker))
+    # Dual-issue sweeps per I-cache size: vary each memory element away
+    # from the matching model's value, plus a fully up/down-sized variant.
+    for icache, base in _MODEL_BY_ICACHE.items():
+        model = base.dual_issue().with_latency(17)
+        tag = f"{icache // 1024}K"
+        variants: list[tuple[str, MachineConfig]] = [(f"{tag}/std", model)]
+        for count in (1, 2, 4):
+            if count != model.mshr_entries:
+                variants.append(
+                    (f"{tag}/mshr{count}", model.with_(mshr_entries=count))
+                )
+        for rob in (2, 6, 8):
+            if rob != model.rob_entries:
+                variants.append((f"{tag}/rob{rob}", model.with_(rob_entries=rob)))
+        for wc in (2, 4, 8):
+            if wc != model.writecache_lines:
+                variants.append(
+                    (f"{tag}/wc{wc}", model.with_(writecache_lines=wc))
+                )
+        variants.append((f"{tag}/nopf", model.without_prefetch()))
+        for label, config in variants:
+            marker = ""
+            if config.mshr_entries == 1:
+                marker = "A"
+            elif label == "4K/std":
+                marker = "B"
+            elif label == "2K/nopf":
+                marker = "C"
+            elif label == "2K/std":
+                marker = "D"
+            points.append((label, config, marker))
+    # Point E: the Section 5.6 recommendation, dual issue.
+    points.append(("E/recommended", RECOMMENDED.dual_issue().with_latency(17), "E"))
+    return points
+
+
+def run(factor: float = 1.0, workload: str = "espresso") -> Fig8Result:
+    trace = scaled_trace(workload, factor)
+    result = Fig8Result()
+    for label, config, marker in _design_points():
+        stats = simulate_trace(trace, config).stats
+        result.points.append(
+            DesignPoint(
+                label=label,
+                config=config,
+                cost=ipu_cost(config).total,
+                cpi=stats.cpi,
+                marker=marker,
+            )
+        )
+    return result

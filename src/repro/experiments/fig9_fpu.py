@@ -1,0 +1,141 @@
+"""Figure 9: FPU cost studies.
+
+Seven sweeps over the FP suite, reporting (cost in RBE, average CPI) per
+point as the paper's bar charts do:
+
+* (a) instruction-queue size 1-5 (single issue — the paper notes dual
+  issue wants five entries),
+* (b) load-data-queue size 1-5,
+* (c) reorder-buffer size 3-11,
+* (d) add-unit latency 1-5,
+* (e) multiply-unit latency 1-5,
+* (f) divide-unit latency 10-30,
+* (g) convert-unit latency 1-5,
+
+plus the Section 5.10 ablation: de-pipelining the add and multiply units
+(expected <5 % CPI degradation for ~25 % unit-area savings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import BASELINE, FPIssuePolicy, MachineConfig
+from repro.cost.rbe import fpu_cost
+from repro.experiments.common import format_table, suite_stats
+
+#: sweep name -> (FPUConfig field, values, issue policy)
+SWEEPS: dict[str, tuple[str, tuple[int, ...], FPIssuePolicy]] = {
+    "a_instruction_queue": (
+        "instruction_queue",
+        (1, 2, 3, 4, 5),
+        FPIssuePolicy.SINGLE_ISSUE,
+    ),
+    "b_load_queue": ("load_queue", (1, 2, 3, 4, 5), FPIssuePolicy.SINGLE_ISSUE),
+    "c_reorder_buffer": (
+        "rob_entries",
+        (3, 5, 7, 9, 11),
+        FPIssuePolicy.SINGLE_ISSUE,
+    ),
+    "d_add_latency": ("add_latency", (1, 2, 3, 4, 5), FPIssuePolicy.DUAL_ISSUE),
+    "e_mul_latency": ("mul_latency", (1, 2, 3, 4, 5), FPIssuePolicy.DUAL_ISSUE),
+    "f_div_latency": (
+        "div_latency",
+        (10, 15, 19, 25, 30),
+        FPIssuePolicy.DUAL_ISSUE,
+    ),
+    "g_cvt_latency": ("cvt_latency", (1, 2, 3, 4, 5), FPIssuePolicy.DUAL_ISSUE),
+}
+
+
+@dataclass
+class SweepPoint:
+    value: int
+    cost: float
+    cpi_avg: float
+    per_benchmark: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Fig9Result:
+    #: sweep name -> points in sweep order
+    sweeps: dict[str, list[SweepPoint]] = field(default_factory=dict)
+    #: pipelining ablation: label -> average CPI
+    pipelining: dict[str, float] = field(default_factory=dict)
+
+    def sensitivity(self, sweep: str) -> float:
+        """Relative CPI change from the sweep's best to worst point."""
+        points = self.sweeps[sweep]
+        cpis = [p.cpi_avg for p in points]
+        return (max(cpis) - min(cpis)) / min(cpis)
+
+    def depipelining_penalty(self) -> float:
+        base = self.pipelining["pipelined"]
+        return self.pipelining["non_pipelined"] / base - 1.0
+
+    def render(self) -> str:
+        parts = []
+        for name, points in self.sweeps.items():
+            rows = [
+                [str(p.value), f"{p.cost:,.0f}", f"{p.cpi_avg:.3f}"]
+                for p in points
+            ]
+            parts.append(
+                format_table(
+                    ["value", "FPU cost (RBE)", "avg CPI"],
+                    rows,
+                    title=f"Figure 9({name})",
+                )
+            )
+        rows = [
+            [label, f"{cpi:.3f}"] for label, cpi in self.pipelining.items()
+        ]
+        parts.append(
+            format_table(
+                ["add/mul units", "avg CPI"],
+                rows,
+                title="Section 5.10: de-pipelining the add and multiply units",
+            )
+        )
+        return "\n\n".join(parts)
+
+
+def _average_cpi(config: MachineConfig, factor: float) -> tuple[float, dict]:
+    stats = suite_stats(config, suite="fp", factor=factor)
+    per_benchmark = {name: s.cpi for name, s in stats.items()}
+    return sum(per_benchmark.values()) / len(per_benchmark), per_benchmark
+
+
+def run(
+    factor: float = 1.0,
+    base: MachineConfig = BASELINE,
+    sweeps: tuple[str, ...] | None = None,
+) -> Fig9Result:
+    result = Fig9Result()
+    selected = sweeps if sweeps is not None else tuple(SWEEPS)
+    for name in selected:
+        fpu_field, values, policy = SWEEPS[name]
+        points = []
+        for value in values:
+            fpu = base.fpu.with_(**{fpu_field: value, "issue_policy": policy})
+            config = base.with_(fpu=fpu)
+            avg, per_benchmark = _average_cpi(config, factor)
+            points.append(
+                SweepPoint(
+                    value=value,
+                    cost=fpu_cost(fpu).total,
+                    cpi_avg=avg,
+                    per_benchmark=per_benchmark,
+                )
+            )
+        result.sweeps[name] = points
+    # Pipelining ablation (Section 5.10).
+    piped = base.with_(
+        fpu=base.fpu.with_(add_pipelined=True, mul_pipelined=True)
+    )
+    unpiped = base.with_(
+        fpu=base.fpu.with_(add_pipelined=False, mul_pipelined=False)
+    )
+    result.pipelining["pipelined"], _ = _average_cpi(piped, factor)
+    result.pipelining["non_pipelined"], _ = _average_cpi(unpiped, factor)
+    return result

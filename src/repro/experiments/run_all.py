@@ -1,0 +1,95 @@
+"""Run every paper experiment and print (and optionally save) the reports.
+
+Usage::
+
+    python -m repro.experiments.run_all [--factor 0.5] [--out results/]
+
+``--factor`` shrinks every workload to that fraction of its default size
+for faster turnarounds; 1.0 reproduces the shipped EXPERIMENTS.md runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    fig1_clock_trend,
+    fig4_issue,
+    fig5_prefetch,
+    fig6_stalls,
+    fig7_mshr,
+    fig8_design_space,
+    fig9_fpu,
+    hit_rates,
+    prefetch_tables,
+    table2_cost,
+    table6_fpu_issue,
+    writecache_table,
+)
+
+#: experiment id -> callable(factor) -> result with .render()
+EXPERIMENTS = {
+    "fig1": lambda factor: fig1_clock_trend.run(),
+    "table2": lambda factor: table2_cost.run(),
+    "fig4": lambda factor: fig4_issue.run(factor=factor),
+    "table3_4": lambda factor: prefetch_tables.run(factor=factor),
+    "fig5": lambda factor: fig5_prefetch.run(factor=factor),
+    "fig6": lambda factor: fig6_stalls.run(factor=factor),
+    "fig7": lambda factor: fig7_mshr.run(factor=factor),
+    "table5": lambda factor: writecache_table.run(factor=factor),
+    "fig8": lambda factor: fig8_design_space.run(factor=factor),
+    "hit_rates": lambda factor: hit_rates.run(factor=factor),
+    "table6": lambda factor: table6_fpu_issue.run(factor=factor),
+    "fig9": lambda factor: fig9_fpu.run(factor=factor),
+}
+
+
+def run_all(
+    factor: float = 1.0,
+    out_dir: str | None = None,
+    only: list[str] | None = None,
+    stream=None,
+) -> dict[str, object]:
+    """Run the selected experiments; returns {id: result}."""
+    stream = stream or sys.stdout
+    results: dict[str, object] = {}
+    out_path = pathlib.Path(out_dir) if out_dir else None
+    if out_path:
+        out_path.mkdir(parents=True, exist_ok=True)
+    for exp_id, runner in EXPERIMENTS.items():
+        if only and exp_id not in only:
+            continue
+        started = time.time()
+        result = runner(factor)
+        elapsed = time.time() - started
+        results[exp_id] = result
+        text = result.render()
+        print(f"==== {exp_id} ({elapsed:.1f}s) ====", file=stream)
+        print(text, file=stream)
+        print(file=stream)
+        if out_path:
+            (out_path / f"{exp_id}.txt").write_text(text + "\n")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--factor", type=float, default=1.0)
+    parser.add_argument("--out", default=None, help="directory for .txt reports")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        choices=sorted(EXPERIMENTS),
+        help="run only these experiment ids",
+    )
+    args = parser.parse_args(argv)
+    run_all(factor=args.factor, out_dir=args.out, only=args.only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

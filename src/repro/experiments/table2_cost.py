@@ -1,0 +1,85 @@
+"""Tables 1 and 2 as executable artefacts: model resources and RBE costs.
+
+Renders the Table 2 element-cost card and costs the three Table 1 models
+(plus the Section 5.6 recommendation) in single- and dual-issue form —
+the x-axis values of every cost/performance figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import (
+    RECOMMENDED,
+    TABLE1_MODELS,
+    MachineConfig,
+)
+from repro.cost.rbe import (
+    CACHE_BLOCK_RBE,
+    FPU_UNIT_RANGES,
+    INTEGER_PIPELINE_RBE,
+    MSHR_ENTRY_RBE,
+    PREFETCH_LINE_RBE,
+    ROB_ENTRY_RBE,
+    WRITE_CACHE_LINE_RBE,
+    CostBreakdown,
+    fpu_cost,
+    ipu_cost,
+)
+from repro.experiments.common import format_table
+
+
+@dataclass
+class CostReport:
+    #: config label -> breakdown
+    machines: dict[str, CostBreakdown] = field(default_factory=dict)
+    fpu: CostBreakdown | None = None
+
+    def total(self, label: str) -> float:
+        return self.machines[label].total
+
+    def render(self) -> str:
+        parts = []
+        element_rows = [
+            ["1 KB cache block", f"{CACHE_BLOCK_RBE[1024]:,.0f}"],
+            ["2 KB cache block", f"{CACHE_BLOCK_RBE[2048]:,.0f}"],
+            ["4 KB cache block", f"{CACHE_BLOCK_RBE[4096]:,.0f}"],
+            ["write-cache line", f"{WRITE_CACHE_LINE_RBE:,.0f}"],
+            ["prefetch line", f"{PREFETCH_LINE_RBE:,.0f}"],
+            ["reorder-buffer entry", f"{ROB_ENTRY_RBE:,.0f}"],
+            ["MSHR entry", f"{MSHR_ENTRY_RBE:,.0f}"],
+            ["integer pipeline", f"{INTEGER_PIPELINE_RBE:,.0f}"],
+        ]
+        for unit, (lmin, cmax, lmax, cmin) in FPU_UNIT_RANGES.items():
+            element_rows.append(
+                [f"FPU {unit} unit ({lmin}-{lmax} cy)", f"{cmax:,.0f}-{cmin:,.0f}"]
+            )
+        parts.append(
+            format_table(
+                ["element", "cost (RBE)"],
+                element_rows,
+                title="Table 2: processor element costs",
+            )
+        )
+        machine_rows = [
+            [label, f"{bd.total:,.0f}"] for label, bd in self.machines.items()
+        ]
+        parts.append(
+            format_table(
+                ["configuration", "IPU cost (RBE)"],
+                machine_rows,
+                title="Table 1 models, costed",
+            )
+        )
+        if self.fpu is not None:
+            parts.append(self.fpu.render("Recommended FPU"))
+        return "\n\n".join(parts)
+
+
+def run(models: tuple[MachineConfig, ...] = TABLE1_MODELS) -> CostReport:
+    report = CostReport()
+    for model in tuple(models) + (RECOMMENDED,):
+        report.machines[f"{model.name}/single"] = ipu_cost(model.single_issue())
+        report.machines[f"{model.name}/dual"] = ipu_cost(model.dual_issue())
+    report.fpu = fpu_cost(RECOMMENDED.fpu)
+    return report

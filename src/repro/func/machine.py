@@ -1,0 +1,555 @@
+"""Functional (architectural) simulator for the ISA subset.
+
+Executes an assembled :class:`~repro.isa.program.Program` with full MIPS
+branch-delay-slot semantics and emits one trace record per dynamic
+instruction (see :mod:`repro.func.trace` for the record format).  The
+machine models architectural state only — registers, HI/LO, the FP register
+file, the FP condition flag, and memory — the timing models live in
+:mod:`repro.core`.
+
+FP values are held as Python floats in the register file and converted to
+IEEE-754 bit patterns only at memory boundaries; the paper's study is a
+timing study, so rounding-mode fidelity inside the register file is not
+required (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.func.memory import SparseMemory
+from repro.func.trace import FP_REG_BASE, HI_REG, NO_REG, TraceRecord, TraceStats, compute_stats
+from repro.isa.instructions import Instruction, Kind
+from repro.isa.program import STACK_TOP, TEXT_BASE, WORD, Program
+
+_MASK32 = 0xFFFFFFFF
+
+
+class SimulationError(Exception):
+    """Raised for runaway programs, bad control flow, or illegal state."""
+
+
+def _s32(value: int) -> int:
+    """Wrap to signed 32-bit."""
+    value &= _MASK32
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+def _u32(value: int) -> int:
+    return value & _MASK32
+
+
+@dataclass
+class MachineResult:
+    """Outcome of one functional run."""
+
+    trace: list[TraceRecord]
+    instructions: int
+    halted: bool
+    registers: list[int]
+    fp_registers: list[float]
+    memory: SparseMemory
+    program: Program
+
+    def stats(self, line_size: int = 32) -> TraceStats:
+        return compute_stats(self.trace, line_size=line_size)
+
+
+@dataclass
+class Machine:
+    """Architectural state plus the execution engine."""
+
+    program: Program
+    collect_trace: bool = True
+    memory: SparseMemory = field(default_factory=SparseMemory)
+
+    def __post_init__(self) -> None:
+        self.regs: list[int] = [0] * 32
+        self.fregs: list[float] = [0.0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.fp_cond = False
+        self.regs[29] = STACK_TOP  # $sp
+        self.memory.load_initial(self.program.data)
+        self._halted = False
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, max_instructions: int = 5_000_000) -> MachineResult:
+        """Execute until ``halt`` or ``max_instructions`` (then raise)."""
+        text = self.program.text
+        base = TEXT_BASE
+        trace: list[TraceRecord] = []
+        append = trace.append
+        collect = self.collect_trace
+        pc = self.program.entry
+        npc = pc + WORD
+        executed = 0
+        limit = max_instructions
+        text_end = base + len(text) * WORD
+        while True:
+            if not base <= pc < text_end:
+                raise SimulationError(
+                    f"control flow left the text segment: pc={pc:#x}"
+                )
+            ins = text[(pc - base) >> 2]
+            record = self._execute(ins, pc)
+            executed += 1
+            if collect:
+                append(record)
+            if self._halted:
+                break
+            target = self._branch_target
+            if target is not None:
+                pc, npc = npc, target
+                self._branch_target = None
+            else:
+                pc, npc = npc, npc + WORD
+            if executed >= limit:
+                raise SimulationError(
+                    f"exceeded max_instructions={max_instructions} "
+                    "without reaching halt"
+                )
+        return MachineResult(
+            trace=trace,
+            instructions=executed,
+            halted=True,
+            registers=list(self.regs),
+            fp_registers=list(self.fregs),
+            memory=self.memory,
+            program=self.program,
+        )
+
+    # ---------------------------------------------------------------- execute
+
+    _branch_target: int | None = None
+
+    def _execute(self, ins: Instruction, pc: int) -> TraceRecord:
+        handler = _HANDLERS[ins.op]
+        return handler(self, ins, pc)
+
+
+# ---------------------------------------------------------------------------
+# Handlers.  Each returns the trace record for the executed instruction.
+# The handler table is built once at import time.
+# ---------------------------------------------------------------------------
+
+_HANDLERS: dict = {}
+
+
+def _handler(name: str):
+    def wrap(fn):
+        _HANDLERS[name] = fn
+        return fn
+
+    return wrap
+
+
+def _dst_id(rd: int) -> int:
+    return rd if rd != 0 else NO_REG
+
+
+def _src_id(r: int) -> int:
+    return r if r != 0 else NO_REG
+
+
+def _wr(machine: Machine, rd: int, value: int) -> None:
+    if rd != 0:
+        machine.regs[rd] = _s32(value)
+
+
+# -- three-register ALU ------------------------------------------------------
+
+_ALU_RRR = {
+    "addu": lambda a, b: a + b,
+    "subu": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "nor": lambda a, b: ~(a | b),
+    "slt": lambda a, b: 1 if a < b else 0,
+    "sltu": lambda a, b: 1 if _u32(a) < _u32(b) else 0,
+    "sllv": lambda a, b: a << (b & 31),
+    "srlv": lambda a, b: _u32(a) >> (b & 31),
+    "srav": lambda a, b: a >> (b & 31),
+}
+
+for _name, _fn in _ALU_RRR.items():
+
+    def _make_rrr(fn):
+        def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+            regs = machine.regs
+            _wr(machine, ins.rd, fn(regs[ins.rs], regs[ins.rt]))
+            return (
+                pc,
+                int(Kind.ALU),
+                _dst_id(ins.rd),
+                _src_id(ins.rs),
+                _src_id(ins.rt),
+                0,
+            )
+
+        return run
+
+    _HANDLERS[_name] = _make_rrr(_fn)
+
+# -- immediate ALU -------------------------------------------------------------
+
+_ALU_RRI = {
+    "addiu": lambda a, imm: a + imm,
+    "andi": lambda a, imm: a & (imm & 0xFFFF),
+    "ori": lambda a, imm: a | (imm & 0xFFFF),
+    "xori": lambda a, imm: a ^ (imm & 0xFFFF),
+    "slti": lambda a, imm: 1 if a < imm else 0,
+    "sltiu": lambda a, imm: 1 if _u32(a) < _u32(imm) else 0,
+    "sll": lambda a, imm: a << (imm & 31),
+    "srl": lambda a, imm: _u32(a) >> (imm & 31),
+    "sra": lambda a, imm: a >> (imm & 31),
+}
+
+for _name, _fn in _ALU_RRI.items():
+
+    def _make_rri(fn):
+        def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+            _wr(machine, ins.rd, fn(machine.regs[ins.rs], ins.imm))
+            return (
+                pc,
+                int(Kind.ALU),
+                _dst_id(ins.rd),
+                _src_id(ins.rs),
+                NO_REG,
+                0,
+            )
+
+        return run
+
+    _HANDLERS[_name] = _make_rri(_fn)
+
+
+@_handler("lui")
+def _lui(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    _wr(machine, ins.rd, (ins.imm & 0xFFFF) << 16)
+    return (pc, int(Kind.ALU), _dst_id(ins.rd), NO_REG, NO_REG, 0)
+
+
+# -- HI/LO multiply and divide --------------------------------------------------
+
+
+@_handler("mult")
+def _mult(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    product = machine.regs[ins.rs] * machine.regs[ins.rt]
+    machine.lo = _s32(product)
+    machine.hi = _s32(product >> 32)
+    return (pc, int(Kind.ALU), HI_REG, _src_id(ins.rs), _src_id(ins.rt), 0)
+
+
+@_handler("multu")
+def _multu(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    product = _u32(machine.regs[ins.rs]) * _u32(machine.regs[ins.rt])
+    machine.lo = _s32(product)
+    machine.hi = _s32(product >> 32)
+    return (pc, int(Kind.ALU), HI_REG, _src_id(ins.rs), _src_id(ins.rt), 0)
+
+
+@_handler("div")
+def _div(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    divisor = machine.regs[ins.rt]
+    dividend = machine.regs[ins.rs]
+    if divisor == 0:
+        machine.lo, machine.hi = 0, 0  # R3000 leaves these undefined
+    else:
+        quotient = abs(dividend) // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            quotient = -quotient
+        machine.lo = _s32(quotient)
+        machine.hi = _s32(dividend - quotient * divisor)
+    return (pc, int(Kind.ALU), HI_REG, _src_id(ins.rs), _src_id(ins.rt), 0)
+
+
+@_handler("divu")
+def _divu(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    divisor = _u32(machine.regs[ins.rt])
+    dividend = _u32(machine.regs[ins.rs])
+    if divisor == 0:
+        machine.lo, machine.hi = 0, 0
+    else:
+        machine.lo = _s32(dividend // divisor)
+        machine.hi = _s32(dividend % divisor)
+    return (pc, int(Kind.ALU), HI_REG, _src_id(ins.rs), _src_id(ins.rt), 0)
+
+
+@_handler("mfhi")
+def _mfhi(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    _wr(machine, ins.rd, machine.hi)
+    return (pc, int(Kind.ALU), _dst_id(ins.rd), HI_REG, NO_REG, 0)
+
+
+@_handler("mflo")
+def _mflo(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    _wr(machine, ins.rd, machine.lo)
+    return (pc, int(Kind.ALU), _dst_id(ins.rd), HI_REG, NO_REG, 0)
+
+
+# -- loads and stores -------------------------------------------------------------
+
+
+def _make_load(reader_name: str, **reader_kwargs):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        address = _u32(machine.regs[ins.rs] + ins.imm)
+        reader = getattr(machine.memory, reader_name)
+        _wr(machine, ins.rd, reader(address, **reader_kwargs))
+        return (
+            pc,
+            int(Kind.LOAD),
+            _dst_id(ins.rd),
+            _src_id(ins.rs),
+            NO_REG,
+            address,
+        )
+
+    return run
+
+
+_HANDLERS["lw"] = _make_load("read_word")
+_HANDLERS["lh"] = _make_load("read_half", signed=True)
+_HANDLERS["lhu"] = _make_load("read_half", signed=False)
+_HANDLERS["lb"] = _make_load("read_byte", signed=True)
+_HANDLERS["lbu"] = _make_load("read_byte", signed=False)
+
+
+def _make_store(writer_name: str):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        address = _u32(machine.regs[ins.rs] + ins.imm)
+        writer = getattr(machine.memory, writer_name)
+        writer(address, machine.regs[ins.rt])
+        return (
+            pc,
+            int(Kind.STORE),
+            NO_REG,
+            _src_id(ins.rs),
+            _src_id(ins.rt),
+            address,
+        )
+
+    return run
+
+
+_HANDLERS["sw"] = _make_store("write_word")
+_HANDLERS["sh"] = _make_store("write_half")
+_HANDLERS["sb"] = _make_store("write_byte")
+
+
+# -- control flow -------------------------------------------------------------------
+
+
+def _branch_record(pc: int, taken: bool, program_target: int, rs: int, rt: int) -> TraceRecord:
+    return (
+        pc,
+        int(Kind.BRANCH),
+        NO_REG,
+        _src_id(rs),
+        _src_id(rt) if rt is not None else NO_REG,
+        program_target if taken else 0,
+    )
+
+
+def _make_cond_branch(test, uses_rt: bool):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        regs = machine.regs
+        taken = test(regs[ins.rs], regs[ins.rt]) if uses_rt else test(regs[ins.rs])
+        target = TEXT_BASE + WORD * ins.target
+        if taken:
+            machine._branch_target = target
+        return _branch_record(pc, taken, target, ins.rs, ins.rt if uses_rt else 0)
+
+    return run
+
+
+_HANDLERS["beq"] = _make_cond_branch(lambda a, b: a == b, True)
+_HANDLERS["bne"] = _make_cond_branch(lambda a, b: a != b, True)
+_HANDLERS["blez"] = _make_cond_branch(lambda a: a <= 0, False)
+_HANDLERS["bgtz"] = _make_cond_branch(lambda a: a > 0, False)
+_HANDLERS["bltz"] = _make_cond_branch(lambda a: a < 0, False)
+_HANDLERS["bgez"] = _make_cond_branch(lambda a: a >= 0, False)
+
+
+@_handler("j")
+def _j(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    target = TEXT_BASE + WORD * ins.target
+    machine._branch_target = target
+    return (pc, int(Kind.JUMP), NO_REG, NO_REG, NO_REG, target)
+
+
+@_handler("jal")
+def _jal(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    target = TEXT_BASE + WORD * ins.target
+    _wr(machine, 31, pc + 2 * WORD)  # return past the delay slot
+    machine._branch_target = target
+    return (pc, int(Kind.JUMP), 31, NO_REG, NO_REG, target)
+
+
+@_handler("jr")
+def _jr(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    target = _u32(machine.regs[ins.rs])
+    machine._branch_target = target
+    return (pc, int(Kind.JUMP), NO_REG, _src_id(ins.rs), NO_REG, target)
+
+
+@_handler("jalr")
+def _jalr(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    target = _u32(machine.regs[ins.rs])
+    _wr(machine, ins.rd, pc + 2 * WORD)
+    machine._branch_target = target
+    return (pc, int(Kind.JUMP), _dst_id(ins.rd), _src_id(ins.rs), NO_REG, target)
+
+
+# -- floating point -----------------------------------------------------------------
+
+
+def _fp_id(f: int) -> int:
+    return FP_REG_BASE + f
+
+
+def _make_fp_arith(kind: Kind, fn, unary: bool):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        fregs = machine.fregs
+        if unary:
+            result = fn(fregs[ins.fs])
+            src2 = NO_REG
+        else:
+            result = fn(fregs[ins.fs], fregs[ins.ft])
+            src2 = _fp_id(ins.ft)
+        fregs[ins.fd] = result
+        return (pc, int(kind), _fp_id(ins.fd), _fp_id(ins.fs), src2, 0)
+
+    return run
+
+
+def _safe_div(a: float, b: float) -> float:
+    if b == 0.0:
+        return float("inf") if a > 0 else float("-inf") if a < 0 else 0.0
+    return a / b
+
+
+def _safe_sqrt(a: float) -> float:
+    return a**0.5 if a >= 0.0 else 0.0
+
+
+for _suffix in (".s", ".d"):
+    _HANDLERS["add" + _suffix] = _make_fp_arith(Kind.FP_ADD, lambda a, b: a + b, False)
+    _HANDLERS["sub" + _suffix] = _make_fp_arith(Kind.FP_ADD, lambda a, b: a - b, False)
+    _HANDLERS["abs" + _suffix] = _make_fp_arith(Kind.FP_ADD, abs, True)
+    _HANDLERS["neg" + _suffix] = _make_fp_arith(Kind.FP_ADD, lambda a: -a, True)
+    _HANDLERS["mul" + _suffix] = _make_fp_arith(Kind.FP_MUL, lambda a, b: a * b, False)
+    _HANDLERS["div" + _suffix] = _make_fp_arith(Kind.FP_DIV, _safe_div, False)
+    _HANDLERS["sqrt" + _suffix] = _make_fp_arith(Kind.FP_DIV, _safe_sqrt, True)
+    _HANDLERS["mov" + _suffix] = _make_fp_arith(Kind.FP_CVT, lambda a: a, True)
+
+
+def _make_fp_compare(test):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        machine.fp_cond = test(machine.fregs[ins.fs], machine.fregs[ins.ft])
+        return (pc, int(Kind.FP_ADD), NO_REG, _fp_id(ins.fs), _fp_id(ins.ft), 0)
+
+    return run
+
+
+for _suffix in (".s", ".d"):
+    _HANDLERS["c.eq" + _suffix] = _make_fp_compare(lambda a, b: a == b)
+    _HANDLERS["c.lt" + _suffix] = _make_fp_compare(lambda a, b: a < b)
+    _HANDLERS["c.le" + _suffix] = _make_fp_compare(lambda a, b: a <= b)
+
+
+def _make_fp_convert(fn):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        machine.fregs[ins.fd] = fn(machine.fregs[ins.fs])
+        return (pc, int(Kind.FP_CVT), _fp_id(ins.fd), _fp_id(ins.fs), NO_REG, 0)
+
+    return run
+
+
+for _name in ("cvt.d.s", "cvt.s.d"):
+    _HANDLERS[_name] = _make_fp_convert(float)
+for _name in ("cvt.d.w", "cvt.s.w"):
+    _HANDLERS[_name] = _make_fp_convert(lambda raw: float(int(raw)))
+for _name in ("cvt.w.s", "cvt.w.d"):
+    _HANDLERS[_name] = _make_fp_convert(lambda value: float(int(value)))
+
+
+def _make_fp_branch(wanted: bool):
+    def run(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+        taken = machine.fp_cond is wanted
+        target = TEXT_BASE + WORD * ins.target
+        if taken:
+            machine._branch_target = target
+        return (pc, int(Kind.BRANCH), NO_REG, NO_REG, NO_REG, target if taken else 0)
+
+    return run
+
+
+_HANDLERS["bc1t"] = _make_fp_branch(True)
+_HANDLERS["bc1f"] = _make_fp_branch(False)
+
+
+@_handler("lwc1")
+def _lwc1(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    address = _u32(machine.regs[ins.rs] + ins.imm)
+    machine.fregs[ins.fd] = machine.memory.read_float(address)
+    return (pc, int(Kind.FP_LOAD), _fp_id(ins.fd), _src_id(ins.rs), NO_REG, address)
+
+
+@_handler("swc1")
+def _swc1(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    address = _u32(machine.regs[ins.rs] + ins.imm)
+    machine.memory.write_float(address, machine.fregs[ins.ft])
+    return (pc, int(Kind.FP_STORE), NO_REG, _src_id(ins.rs), _fp_id(ins.ft), address)
+
+
+@_handler("ldc1")
+def _ldc1(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    address = _u32(machine.regs[ins.rs] + ins.imm)
+    machine.fregs[ins.fd] = machine.memory.read_double(address)
+    return (pc, int(Kind.FP_LOAD), _fp_id(ins.fd), _src_id(ins.rs), NO_REG, address)
+
+
+@_handler("sdc1")
+def _sdc1(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    address = _u32(machine.regs[ins.rs] + ins.imm)
+    machine.memory.write_double(address, machine.fregs[ins.ft])
+    return (pc, int(Kind.FP_STORE), NO_REG, _src_id(ins.rs), _fp_id(ins.ft), address)
+
+
+@_handler("mtc1")
+def _mtc1(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    machine.fregs[ins.fd] = float(machine.regs[ins.rt])
+    return (pc, int(Kind.FP_MOVE), _fp_id(ins.fd), _src_id(ins.rt), NO_REG, 0)
+
+
+@_handler("mfc1")
+def _mfc1(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    _wr(machine, ins.rd, int(machine.fregs[ins.fs]))
+    return (pc, int(Kind.FP_MOVE), _dst_id(ins.rd), _fp_id(ins.fs), NO_REG, 0)
+
+
+# -- miscellaneous ---------------------------------------------------------------------
+
+
+@_handler("nop")
+def _nop(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    return (pc, int(Kind.NOP), NO_REG, NO_REG, NO_REG, 0)
+
+
+@_handler("halt")
+def _halt(machine: Machine, ins: Instruction, pc: int) -> TraceRecord:
+    machine._halted = True
+    return (pc, int(Kind.HALT), NO_REG, NO_REG, NO_REG, 0)
+
+
+def run_program(
+    program: Program,
+    max_instructions: int = 5_000_000,
+    collect_trace: bool = True,
+) -> MachineResult:
+    """Convenience wrapper: build a Machine, run it, return the result."""
+    machine = Machine(program=program, collect_trace=collect_trace)
+    return machine.run(max_instructions=max_instructions)

@@ -1,0 +1,138 @@
+"""Dynamic-trace infrastructure.
+
+A trace is the interchange format between the functional simulator
+(:mod:`repro.func.machine`) and the timing models (:mod:`repro.core`).
+Each record is a compact 6-tuple of ints::
+
+    (pc, kind, dst, src1, src2, addr)
+
+* ``pc`` — byte address of the instruction,
+* ``kind`` — :class:`repro.isa.instructions.Kind` value,
+* ``dst``/``src1``/``src2`` — unified register ids (below), -1 when absent,
+* ``addr`` — effective byte address for memory operations; for control-flow
+  instructions, the *taken* target address, or 0 when not taken.
+
+Unified register-id space (so one scoreboard array covers all namespaces):
+
+* 0–31   integer registers (id 0, ``$zero``, is never recorded as a
+  dependency — reads of it are always ready and writes are discarded),
+* 32–63  FP registers (``32 + n``),
+* 64, 65 HI and LO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.instructions import Kind
+
+# Unified register-id space.
+FP_REG_BASE = 32
+HI_REG = 64
+LO_REG = 65
+NUM_UNIFIED_REGS = 66
+NO_REG = -1
+
+#: Type alias used throughout: one trace record.
+TraceRecord = tuple[int, int, int, int, int, int]
+
+_CONTROL_KINDS = (int(Kind.BRANCH), int(Kind.JUMP))
+_MEMORY_KINDS = frozenset(
+    int(k)
+    for k in (Kind.LOAD, Kind.STORE, Kind.FP_LOAD, Kind.FP_STORE, Kind.FP_MOVE)
+)
+_FP_KINDS = frozenset(
+    int(k)
+    for k in (
+        Kind.FP_ADD,
+        Kind.FP_MUL,
+        Kind.FP_DIV,
+        Kind.FP_CVT,
+        Kind.FP_LOAD,
+        Kind.FP_STORE,
+        Kind.FP_MOVE,
+    )
+)
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics over a trace (instruction mix, footprints)."""
+
+    total: int = 0
+    by_kind: dict[Kind, int] = field(default_factory=dict)
+    taken_branches: int = 0
+    unique_code_lines: int = 0
+    unique_data_lines: int = 0
+    line_size: int = 32
+
+    @property
+    def loads(self) -> int:
+        return self.by_kind.get(Kind.LOAD, 0) + self.by_kind.get(Kind.FP_LOAD, 0)
+
+    @property
+    def stores(self) -> int:
+        return self.by_kind.get(Kind.STORE, 0) + self.by_kind.get(Kind.FP_STORE, 0)
+
+    @property
+    def fp_ops(self) -> int:
+        return sum(count for kind, count in self.by_kind.items() if kind.is_fp)
+
+    def fraction(self, kind: Kind) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.by_kind.get(kind, 0) / self.total
+
+    @property
+    def code_footprint_bytes(self) -> int:
+        return self.unique_code_lines * self.line_size
+
+    @property
+    def data_footprint_bytes(self) -> int:
+        return self.unique_data_lines * self.line_size
+
+
+def compute_stats(trace: list[TraceRecord], line_size: int = 32) -> TraceStats:
+    """Compute mix and footprint statistics for a trace."""
+    stats = TraceStats(line_size=line_size)
+    by_kind: dict[int, int] = {}
+    code_lines: set[int] = set()
+    data_lines: set[int] = set()
+    shift = line_size.bit_length() - 1
+    taken = 0
+    for pc, kind, _dst, _s1, _s2, addr in trace:
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        code_lines.add(pc >> shift)
+        if kind in _MEMORY_KINDS and kind != int(Kind.FP_MOVE):
+            data_lines.add(addr >> shift)
+        elif kind in _CONTROL_KINDS and addr:
+            taken += 1
+    stats.total = len(trace)
+    stats.by_kind = {Kind(k): v for k, v in by_kind.items()}
+    stats.taken_branches = taken
+    stats.unique_code_lines = len(code_lines)
+    stats.unique_data_lines = len(data_lines)
+    return stats
+
+
+def save_trace(path: str, trace: list[TraceRecord]) -> None:
+    """Persist a trace as a compressed numpy archive."""
+    array = np.asarray(trace, dtype=np.int64).reshape(len(trace), 6)
+    np.savez_compressed(path, trace=array)
+
+
+def load_trace(path: str) -> list[TraceRecord]:
+    """Load a trace saved with :func:`save_trace`."""
+    with np.load(path) as archive:
+        array = archive["trace"]
+    return [tuple(int(v) for v in row) for row in array]
+
+
+def is_memory_kind(kind: int) -> bool:
+    return kind in _MEMORY_KINDS
+
+
+def is_fp_kind(kind: int) -> bool:
+    return kind in _FP_KINDS

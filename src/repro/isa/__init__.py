@@ -1,0 +1,50 @@
+"""MIPS-R3000-like ISA subset: registers, instructions, assembler, programs."""
+
+from repro.isa.assembler import Assembler, AssemblyError, parse_asm
+from repro.isa.disassembler import disassemble
+from repro.isa.instructions import OPCODES, Instruction, Kind, OpSpec
+from repro.isa.program import (
+    DATA_BASE,
+    HEAP_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+    WORD,
+    Program,
+    ProgramError,
+)
+from repro.isa.scheduler import schedule_load_use
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterError,
+    fp_reg,
+    fp_reg_name,
+    int_reg,
+    int_reg_name,
+)
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "parse_asm",
+    "disassemble",
+    "schedule_load_use",
+    "OPCODES",
+    "Instruction",
+    "Kind",
+    "OpSpec",
+    "Program",
+    "ProgramError",
+    "DATA_BASE",
+    "HEAP_BASE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "WORD",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "RegisterError",
+    "fp_reg",
+    "fp_reg_name",
+    "int_reg",
+    "int_reg_name",
+]

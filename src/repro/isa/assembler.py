@@ -1,0 +1,450 @@
+"""Two-pass assembler for the MIPS-R3000-like subset.
+
+Workload kernels build programs programmatically::
+
+    asm = Assembler()
+    asm.data_label("table")
+    asm.word(*range(64))
+    asm.label("loop")
+    asm.lw("t0", 0, "a0")
+    asm.addiu("a0", "a0", 4)
+    asm.bne("a0", "a1", "loop")
+    asm.halt()
+    program = asm.assemble()
+
+Every opcode in :data:`repro.isa.instructions.OPCODES` is available as a
+method.  Control-flow instructions get an architectural branch delay slot:
+by default the assembler fills it with a ``nop`` (like ``gas`` in reorder
+mode); inside a ``with asm.noreorder():`` block the caller schedules the
+slot itself, which the workload kernels use to fill slots the way a
+compiler would.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import struct
+from collections.abc import Iterator
+
+from repro.isa.instructions import OPCODES, Instruction, Kind, OpSpec
+from repro.isa.program import DATA_BASE, WORD, Program, ProgramError
+from repro.isa.registers import fp_reg, int_reg
+
+
+class AssemblyError(ProgramError):
+    """Raised when a program cannot be assembled."""
+
+
+class Assembler:
+    """Builds a :class:`~repro.isa.program.Program` in two passes.
+
+    Pass one happens as the caller emits instructions and directives; pass
+    two (in :meth:`assemble`) resolves label references to instruction
+    indices and data addresses.
+    """
+
+    def __init__(self, data_base: int = DATA_BASE) -> None:
+        self._text: list[Instruction] = []
+        self._labels: dict[str, int] = {}  # code label -> instruction index
+        self._data: dict[int, int] = {}  # byte address -> byte value
+        self._data_labels: dict[str, int] = {}  # data label -> byte address
+        self._data_cursor = data_base
+        self._auto_delay_slot = True
+        self._assembled = False
+
+    # ------------------------------------------------------------------ text
+
+    def label(self, name: str) -> None:
+        """Define a code label at the current position."""
+        self._check_label_free(name)
+        self._labels[name] = len(self._text)
+
+    @contextlib.contextmanager
+    def noreorder(self) -> Iterator[None]:
+        """Suppress automatic ``nop`` insertion in branch delay slots."""
+        previous = self._auto_delay_slot
+        self._auto_delay_slot = False
+        try:
+            yield
+        finally:
+            self._auto_delay_slot = previous
+
+    def emit(self, instruction: Instruction) -> None:
+        """Append one instruction, handling the delay slot convention."""
+        if self._assembled:
+            raise AssemblyError("cannot emit after assemble()")
+        instruction.index = len(self._text)
+        self._text.append(instruction)
+        if self._auto_delay_slot and instruction.kind.is_control:
+            slot = Instruction(op="nop")
+            slot.index = len(self._text)
+            self._text.append(slot)
+
+    def _build(self, spec: OpSpec, args: tuple) -> Instruction:
+        ins = Instruction(op=spec.name)
+        fields = _operand_fields(spec.operands)
+        if len(args) != len(fields):
+            raise AssemblyError(
+                f"{spec.name} expects {len(fields)} operand(s) "
+                f"({spec.operands!r}), got {len(args)}"
+            )
+        for fld, value in zip(fields, args):
+            if fld in ("d", "s", "t"):
+                setattr(ins, "r" + fld, int_reg(value))
+            elif fld in ("fd", "fs", "ft"):
+                setattr(ins, fld, fp_reg(value))
+            elif fld == "i":
+                ins.imm = _check_imm(spec.name, value)
+            elif fld == "j":
+                ins.label = _check_label_ref(spec.name, value)
+            elif fld == "m":
+                offset, base = value
+                ins.imm = _check_imm(spec.name, offset)
+                ins.rs = int_reg(base)
+            else:  # pragma: no cover - exhaustive by construction
+                raise AssemblyError(f"bad operand field {fld!r}")
+        return ins
+
+    def op(self, mnemonic: str, *args) -> None:
+        """Emit one instruction by mnemonic.
+
+        Memory operands are passed as an ``(offset, base)`` pair, e.g.
+        ``asm.op("lw", "t0", (4, "sp"))``.  The named wrappers generated
+        below flatten that to ``asm.lw("t0", 4, "sp")``.
+        """
+        try:
+            spec = OPCODES[mnemonic]
+        except KeyError:
+            raise AssemblyError(f"unknown opcode {mnemonic!r}") from None
+        self.emit(self._build(spec, args))
+
+    # ------------------------------------------------------ pseudo-instructions
+
+    def li(self, rd: int | str, value: int) -> None:
+        """Load a 32-bit constant (expands to lui/ori or addiu)."""
+        value &= 0xFFFFFFFF
+        if value < 0x8000 or value >= 0xFFFF8000:
+            self.op("addiu", rd, "zero", _signed16(value))
+        else:
+            upper = (value >> 16) & 0xFFFF
+            lower = value & 0xFFFF
+            self.op("lui", rd, upper)
+            if lower:
+                self.op("ori", rd, rd, lower)
+
+    def la(self, rd: int | str, label: str) -> None:
+        """Load the address of a data label (resolved at assemble time)."""
+        ins = Instruction(op="lui", rd=int_reg(rd), label=label, imm=0)
+        self.emit(ins)
+        ins2 = Instruction(op="ori", rd=int_reg(rd), rs=int_reg(rd), label=label)
+        ins2.imm = -1  # marker: low half of label address
+        self.emit(ins2)
+
+    def move(self, rd: int | str, rs: int | str) -> None:
+        self.op("addu", rd, rs, "zero")
+
+    def b(self, target: str) -> None:
+        """Unconditional branch (beq zero, zero, target)."""
+        self.op("beq", "zero", "zero", target)
+
+    def nop(self) -> None:
+        self.op("nop")
+
+    def halt(self) -> None:
+        self.op("halt")
+
+    # ------------------------------------------------------------------ data
+
+    def data_label(self, name: str) -> int:
+        """Define a data label at the current data cursor; returns address."""
+        self._check_label_free(name)
+        self._data_labels[name] = self._data_cursor
+        return self._data_cursor
+
+    def align(self, boundary: int = WORD) -> None:
+        remainder = self._data_cursor % boundary
+        if remainder:
+            self._data_cursor += boundary - remainder
+
+    def word(self, *values: int) -> None:
+        """Emit 32-bit little-endian words into the data segment."""
+        self.align(WORD)
+        for value in values:
+            for i, byte in enumerate(struct.pack("<i", _signed32(value))):
+                self._data[self._data_cursor + i] = byte
+            self._data_cursor += WORD
+
+    def byte(self, *values: int) -> None:
+        for value in values:
+            self._data[self._data_cursor] = value & 0xFF
+            self._data_cursor += 1
+
+    def half(self, *values: int) -> None:
+        self.align(2)
+        for value in values:
+            packed = struct.pack("<h", _signed16_wrap(value))
+            self._data[self._data_cursor] = packed[0]
+            self._data[self._data_cursor + 1] = packed[1]
+            self._data_cursor += 2
+
+    def float_single(self, *values: float) -> None:
+        """Emit IEEE-754 single-precision values."""
+        self.align(WORD)
+        for value in values:
+            for i, byte in enumerate(struct.pack("<f", value)):
+                self._data[self._data_cursor + i] = byte
+            self._data_cursor += WORD
+
+    def float_double(self, *values: float) -> None:
+        """Emit IEEE-754 double-precision values (8-byte aligned)."""
+        self.align(8)
+        for value in values:
+            for i, byte in enumerate(struct.pack("<d", value)):
+                self._data[self._data_cursor + i] = byte
+            self._data_cursor += 8
+
+    def space(self, nbytes: int) -> int:
+        """Reserve ``nbytes`` of zero-initialised space; returns its address."""
+        address = self._data_cursor
+        self._data_cursor += nbytes
+        return address
+
+    # ------------------------------------------------------------------ passes
+
+    def assemble(self) -> Program:
+        """Run pass two: resolve labels, produce the final Program."""
+        program = Program()
+        program.data = dict(self._data)
+        program.symbols = dict(self._data_labels)
+        for name, index in self._labels.items():
+            program.symbols[name] = program.address_of(index)
+        for ins in self._text:
+            resolved = self._resolve(ins, program)
+            program.text.append(resolved)
+        self._assembled = True
+        return program
+
+    def _resolve(self, ins: Instruction, program: Program) -> Instruction:
+        if ins.label is None:
+            return ins
+        if ins.op in ("lui", "ori"):
+            if ins.label in self._data_labels:
+                address = self._data_labels[ins.label]
+            elif ins.label in self._labels:
+                address = program.address_of(self._labels[ins.label])
+            else:
+                raise AssemblyError(f"undefined label {ins.label!r} in {ins.op}")
+            half = address & 0xFFFF if ins.imm == -1 else (address >> 16) & 0xFFFF
+            return Instruction(
+                op=ins.op, rd=ins.rd, rs=ins.rs, imm=half, index=ins.index
+            )
+        if ins.label in self._labels:
+            ins.target = self._labels[ins.label]
+            return ins
+        raise AssemblyError(f"undefined label {ins.label!r} in {ins.op}")
+
+    def _check_label_free(self, name: str) -> None:
+        if name in self._labels or name in self._data_labels:
+            raise AssemblyError(f"label {name!r} defined twice")
+
+
+def _operand_fields(fmt: str) -> list[str]:
+    """Split an OpSpec operand format into field tokens.
+
+    ``"fdfsft"`` -> ``["fd", "fs", "ft"]``;  ``"dsi"`` -> ``["d", "s", "i"]``.
+    """
+    fields = []
+    i = 0
+    while i < len(fmt):
+        if fmt[i] == "f":
+            fields.append(fmt[i : i + 2])
+            i += 2
+        else:
+            fields.append(fmt[i])
+            i += 1
+    return fields
+
+
+def _check_imm(op: str, value) -> int:
+    if not isinstance(value, int):
+        raise AssemblyError(f"{op}: immediate must be an int, got {value!r}")
+    return value
+
+
+def _check_label_ref(op: str, value) -> str:
+    if not isinstance(value, str):
+        raise AssemblyError(f"{op}: target must be a label name, got {value!r}")
+    return value
+
+
+def _signed16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value >= 0x8000 else value
+
+
+def _signed16_wrap(value: int) -> int:
+    return _signed16(value & 0xFFFF)
+
+
+def _signed32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x1_0000_0000 if value >= 0x8000_0000 else value
+
+
+def _make_op_method(name: str, spec: OpSpec):
+    fields = _operand_fields(spec.operands)
+    has_mem = "m" in fields
+
+    if has_mem:
+        # Memory ops take (reg, offset, base) flattened.
+        def method(self: Assembler, *args):
+            if len(args) != len(fields) + 1:
+                raise AssemblyError(
+                    f"{name} expects {len(fields) + 1} operands "
+                    f"(reg, offset, base), got {len(args)}"
+                )
+            packed = []
+            cursor = 0
+            for fld in fields:
+                if fld == "m":
+                    packed.append((args[cursor], args[cursor + 1]))
+                    cursor += 2
+                else:
+                    packed.append(args[cursor])
+                    cursor += 1
+            self.op(name, *packed)
+
+    else:
+
+        def method(self: Assembler, *args):
+            self.op(name, *args)
+
+    method.__name__ = name.replace(".", "_")
+    method.__doc__ = f"Emit `{name}` ({spec.kind.name})."
+    return method
+
+
+# Generate one method per opcode: asm.addu(...), asm.add_d(...), asm.c_lt_s(...)
+# Mnemonics that collide with Python keywords get a trailing underscore
+# alias (asm.and_, asm.or_); the bare name still works via asm.op("and", ...).
+for _name, _opspec in OPCODES.items():
+    _method_name = _name.replace(".", "_")
+    if not hasattr(Assembler, _method_name):
+        _method = _make_op_method(_name, _opspec)
+        setattr(Assembler, _method_name, _method)
+        if _method_name in ("and", "or", "not", "xor"):
+            setattr(Assembler, _method_name + "_", _method)
+
+
+def parse_asm(source: str) -> Program:
+    """Assemble textual assembly (a convenience front end for tests/examples).
+
+    Supports labels (``name:``), comments (``# ...``), ``.data``/``.text``
+    sections, ``.word``/``.byte``/``.half``/``.space``/``.float``/``.double``
+    directives, ``.noreorder``/``.reorder``, and memory operands written as
+    ``offset(base)``.
+    """
+    asm = Assembler()
+    in_data = False
+    noreorder_depth: list = []
+
+    def enter_noreorder() -> None:
+        ctx = asm.noreorder()
+        ctx.__enter__()
+        noreorder_depth.append(ctx)
+
+    def exit_noreorder() -> None:
+        if noreorder_depth:
+            noreorder_depth.pop().__exit__(None, None, None)
+
+    for raw_line in source.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while line:
+            first_token = line.split(None, 1)[0]
+            if ":" not in first_token:
+                break
+            label_name, _, rest = line.partition(":")
+            if in_data:
+                asm.data_label(label_name.strip())
+            else:
+                asm.label(label_name.strip())
+            line = rest.strip()
+        if not line:
+            continue
+        mnemonic, _, operand_text = line.partition(" ")
+        mnemonic = mnemonic.strip()
+        operands = [tok.strip() for tok in operand_text.split(",") if tok.strip()]
+        if mnemonic == ".data":
+            in_data = True
+        elif mnemonic == ".text":
+            in_data = False
+        elif mnemonic == ".noreorder":
+            enter_noreorder()
+        elif mnemonic == ".reorder":
+            exit_noreorder()
+        elif mnemonic == ".word":
+            asm.word(*[int(tok, 0) for tok in operands])
+        elif mnemonic == ".half":
+            asm.half(*[int(tok, 0) for tok in operands])
+        elif mnemonic == ".byte":
+            asm.byte(*[int(tok, 0) for tok in operands])
+        elif mnemonic == ".float":
+            asm.float_single(*[float(tok) for tok in operands])
+        elif mnemonic == ".double":
+            asm.float_double(*[float(tok) for tok in operands])
+        elif mnemonic == ".space":
+            asm.space(int(operands[0], 0))
+        elif mnemonic == ".align":
+            asm.align(int(operands[0], 0) if operands else WORD)
+        elif mnemonic in ("li", "la", "move", "b"):
+            _emit_pseudo(asm, mnemonic, operands)
+        else:
+            _emit_parsed(asm, mnemonic, operands)
+    while noreorder_depth:
+        exit_noreorder()
+    return asm.assemble()
+
+
+def _emit_pseudo(asm: Assembler, mnemonic: str, operands: list[str]) -> None:
+    if mnemonic == "li":
+        asm.li(operands[0], int(operands[1], 0))
+    elif mnemonic == "la":
+        asm.la(operands[0], operands[1])
+    elif mnemonic == "move":
+        asm.move(operands[0], operands[1])
+    else:
+        asm.b(operands[0])
+
+
+def _emit_parsed(asm: Assembler, mnemonic: str, operands: list[str]) -> None:
+    try:
+        spec = OPCODES[mnemonic]
+    except KeyError:
+        raise AssemblyError(f"unknown opcode {mnemonic!r}") from None
+    fields = _operand_fields(spec.operands)
+    args: list = []
+    cursor = 0
+    for fld in fields:
+        if cursor >= len(operands):
+            raise AssemblyError(f"{mnemonic}: missing operand for field {fld!r}")
+        token = operands[cursor]
+        cursor += 1
+        if fld == "m":
+            if "(" not in token or not token.endswith(")"):
+                raise AssemblyError(
+                    f"{mnemonic}: memory operand must look like offset(base), "
+                    f"got {token!r}"
+                )
+            offset_text, base_text = token[:-1].split("(", 1)
+            args.append((int(offset_text or "0", 0), base_text))
+        elif fld == "i":
+            args.append(int(token, 0))
+        elif fld == "j":
+            args.append(token)
+        else:
+            args.append(token)
+    if cursor != len(operands):
+        raise AssemblyError(f"{mnemonic}: too many operands: {operands}")
+    asm.op(mnemonic, *args)

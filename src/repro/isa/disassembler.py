@@ -1,0 +1,119 @@
+"""Disassembler: turn assembled programs back into textual assembly.
+
+The output is accepted by :func:`repro.isa.assembler.parse_asm`, giving a
+round-trip property (assemble -> disassemble -> assemble yields the same
+program) that the test suite verifies.  Code labels are synthesised for
+every branch/jump target (``L<index>``); the data segment is emitted as
+``.word`` directives with labels at addresses the code references.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Kind
+from repro.isa.program import Program
+from repro.isa.registers import fp_reg_name, int_reg_name
+
+_BRANCH_FMT_TWO_SRC = {"beq", "bne"}
+_BRANCH_FMT_ONE_SRC = {"blez", "bgtz", "bltz", "bgez"}
+
+
+def _operand_text(ins: Instruction) -> str:
+    """Render one instruction's operands (without its label targets)."""
+    op = ins.op
+    spec = ins.spec
+    fmt = spec.operands
+    if fmt == "dst":
+        return f"{int_reg_name(ins.rd)}, {int_reg_name(ins.rs)}, {int_reg_name(ins.rt)}"
+    if fmt == "dsi":
+        return f"{int_reg_name(ins.rd)}, {int_reg_name(ins.rs)}, {ins.imm}"
+    if fmt == "di":
+        return f"{int_reg_name(ins.rd)}, {ins.imm}"
+    if fmt == "st":
+        return f"{int_reg_name(ins.rs)}, {int_reg_name(ins.rt)}"
+    if fmt == "d":
+        return int_reg_name(ins.rd)
+    if fmt == "dm":
+        return f"{int_reg_name(ins.rd)}, {ins.imm}({int_reg_name(ins.rs)})"
+    if fmt == "tm":
+        return f"{int_reg_name(ins.rt)}, {ins.imm}({int_reg_name(ins.rs)})"
+    if fmt == "s":
+        return int_reg_name(ins.rs)
+    if fmt == "ds":
+        return f"{int_reg_name(ins.rd)}, {int_reg_name(ins.rs)}"
+    if fmt == "fdfsft":
+        return f"{fp_reg_name(ins.fd)}, {fp_reg_name(ins.fs)}, {fp_reg_name(ins.ft)}"
+    if fmt == "fdfs":
+        return f"{fp_reg_name(ins.fd)}, {fp_reg_name(ins.fs)}"
+    if fmt == "fsft":
+        return f"{fp_reg_name(ins.fs)}, {fp_reg_name(ins.ft)}"
+    if fmt == "fdm":
+        return f"{fp_reg_name(ins.fd)}, {ins.imm}({int_reg_name(ins.rs)})"
+    if fmt == "ftm":
+        return f"{fp_reg_name(ins.ft)}, {ins.imm}({int_reg_name(ins.rs)})"
+    if fmt == "tfd":
+        return f"{int_reg_name(ins.rt)}, {fp_reg_name(ins.fd)}"
+    if fmt == "dfs":
+        return f"{int_reg_name(ins.rd)}, {fp_reg_name(ins.fs)}"
+    if fmt == "":
+        return ""
+    raise ValueError(f"cannot render operands for {op!r} ({fmt!r})")
+
+
+def disassemble(program: Program) -> str:
+    """Disassemble a program to text `parse_asm` can re-assemble.
+
+    Instructions with label operands (branches, ``j``/``jal``) reference
+    synthesised ``L<index>`` labels.  The whole text is wrapped in
+    ``.noreorder`` because delay slots are already explicit in the
+    assembled stream.
+    """
+    targets: set[int] = set()
+    for ins in program.text:
+        if ins.target is not None:
+            targets.add(ins.target)
+
+    lines: list[str] = []
+    if program.data:
+        lines.append(".data")
+        addresses = sorted(program.data)
+        # group contiguous bytes into words where aligned
+        index = 0
+        label_count = 0
+        while index < len(addresses):
+            address = addresses[index]
+            lines.append(f"blob{label_count}: .byte {program.data[address]}")
+            run = [address]
+            while (
+                index + 1 < len(addresses)
+                and addresses[index + 1] == run[-1] + 1
+                and len(run) < 8
+            ):
+                index += 1
+                run.append(addresses[index])
+                lines[-1] += f", {program.data[addresses[index]]}"
+            label_count += 1
+            index += 1
+        lines.append(".text")
+    lines.append(".noreorder")
+    for position, ins in enumerate(program.text):
+        if position in targets:
+            lines.append(f"L{position}:")
+        if ins.target is not None:
+            # branch/jump target reference
+            if ins.op in _BRANCH_FMT_TWO_SRC:
+                text = (
+                    f"{ins.op} {int_reg_name(ins.rs)}, "
+                    f"{int_reg_name(ins.rt)}, L{ins.target}"
+                )
+            elif ins.op in _BRANCH_FMT_ONE_SRC:
+                text = f"{ins.op} {int_reg_name(ins.rs)}, L{ins.target}"
+            elif ins.op in ("bc1t", "bc1f", "j", "jal"):
+                text = f"{ins.op} L{ins.target}"
+            else:
+                raise ValueError(f"unexpected label-bearing op {ins.op!r}")
+        else:
+            operands = _operand_text(ins)
+            text = f"{ins.op} {operands}" if operands else ins.op
+        lines.append("    " + text)
+    lines.append(".reorder")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,241 @@
+"""Instruction definitions for the MIPS-R3000-like ISA subset.
+
+The subset covers the instructions the Aurora III study exercises:
+
+* integer ALU (register and immediate forms, shifts, HI/LO multiply/divide),
+* loads and stores of bytes, halfwords and words,
+* conditional branches and jumps, each with an architectural branch delay
+  slot (the paper devotes Section 2.4 to the delay slot's consequences for
+  a superscalar front end, so the functional machine honours it),
+* coprocessor-1 floating point: arithmetic, compare/branch-on-condition,
+  conversions, single/double loads and stores (the paper notes the FPU
+  "also supports double-word loads and stores"), and register moves.
+
+Each opcode carries a *timing kind* — the equivalence class the timing
+simulator cares about (ALU, LOAD, BRANCH, FP_MUL, ...) — so the trace can be
+compact while the functional semantics stay complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum, unique
+
+
+@unique
+class Kind(IntEnum):
+    """Timing equivalence class of an instruction.
+
+    These are the classes the Aurora III timing model distinguishes:
+    integer ops execute in one of the integer ALU pipes; memory ops go to
+    the LSU; control flow is resolved in the front end via branch folding;
+    FP ops are queued to the decoupled FPU by functional-unit class.
+    """
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3
+    JUMP = 4
+    NOP = 5
+    FP_ADD = 6
+    FP_MUL = 7
+    FP_DIV = 8
+    FP_CVT = 9
+    FP_LOAD = 10
+    FP_STORE = 11
+    FP_MOVE = 12
+    HALT = 13
+
+    @property
+    def is_memory(self) -> bool:
+        """True if the instruction occupies the single memory port."""
+        return self in _MEMORY_KINDS
+
+    @property
+    def is_fp(self) -> bool:
+        """True if the instruction is dispatched to the decoupled FPU."""
+        return self in _FP_KINDS
+
+    @property
+    def is_control(self) -> bool:
+        """True for control-flow instructions (have a delay slot)."""
+        return self in (Kind.BRANCH, Kind.JUMP)
+
+
+_MEMORY_KINDS = frozenset(
+    {Kind.LOAD, Kind.STORE, Kind.FP_LOAD, Kind.FP_STORE, Kind.FP_MOVE}
+)
+_FP_KINDS = frozenset(
+    {
+        Kind.FP_ADD,
+        Kind.FP_MUL,
+        Kind.FP_DIV,
+        Kind.FP_CVT,
+        Kind.FP_LOAD,
+        Kind.FP_STORE,
+        Kind.FP_MOVE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode.
+
+    ``operands`` is a format string over {d, s, t, i, j, fd, fs, ft, m}
+    naming which fields :class:`Instruction` uses:
+
+    * ``d``/``s``/``t`` — integer dest / first source / second source
+    * ``fd``/``fs``/``ft`` — FP dest / sources
+    * ``i`` — immediate, ``j`` — jump/branch target label, ``m`` — memory
+      operand ``imm(rs)``.
+    """
+
+    name: str
+    kind: Kind
+    operands: str
+    writes_int: bool = False
+    writes_fp: bool = False
+    reads_hi_lo: bool = False
+    writes_hi_lo: bool = False
+    double: bool = False  # operates on an even/odd FP pair
+
+
+def _spec(name: str, kind: Kind, operands: str, **kw: bool) -> OpSpec:
+    return OpSpec(name=name, kind=kind, operands=operands, **kw)
+
+
+#: All opcodes in the subset, keyed by mnemonic.
+OPCODES: dict[str, OpSpec] = {}
+
+
+def _register(spec: OpSpec) -> None:
+    if spec.name in OPCODES:
+        raise ValueError(f"duplicate opcode {spec.name}")
+    OPCODES[spec.name] = spec
+
+
+# --- integer ALU, three-register form -------------------------------------
+for _name in ("addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"):
+    _register(_spec(_name, Kind.ALU, "dst", writes_int=True))
+for _name in ("sllv", "srlv", "srav"):
+    _register(_spec(_name, Kind.ALU, "dst", writes_int=True))
+
+# --- integer ALU, immediate form -------------------------------------------
+for _name in ("addiu", "andi", "ori", "xori", "slti", "sltiu"):
+    _register(_spec(_name, Kind.ALU, "dsi", writes_int=True))
+for _name in ("sll", "srl", "sra"):
+    _register(_spec(_name, Kind.ALU, "dsi", writes_int=True))
+_register(_spec("lui", Kind.ALU, "di", writes_int=True))
+
+# --- HI/LO multiply and divide ---------------------------------------------
+for _name in ("mult", "multu", "div", "divu"):
+    _register(_spec(_name, Kind.ALU, "st", writes_hi_lo=True))
+for _name in ("mfhi", "mflo"):
+    _register(_spec(_name, Kind.ALU, "d", writes_int=True, reads_hi_lo=True))
+
+# --- loads and stores -------------------------------------------------------
+for _name in ("lw", "lh", "lhu", "lb", "lbu"):
+    _register(_spec(_name, Kind.LOAD, "dm", writes_int=True))
+for _name in ("sw", "sh", "sb"):
+    _register(_spec(_name, Kind.STORE, "tm"))
+
+# --- control flow -----------------------------------------------------------
+_register(_spec("beq", Kind.BRANCH, "stj"))
+_register(_spec("bne", Kind.BRANCH, "stj"))
+_register(_spec("blez", Kind.BRANCH, "sj"))
+_register(_spec("bgtz", Kind.BRANCH, "sj"))
+_register(_spec("bltz", Kind.BRANCH, "sj"))
+_register(_spec("bgez", Kind.BRANCH, "sj"))
+_register(_spec("j", Kind.JUMP, "j"))
+_register(_spec("jal", Kind.JUMP, "j", writes_int=True))  # writes ra
+_register(_spec("jr", Kind.JUMP, "s"))
+_register(_spec("jalr", Kind.JUMP, "ds", writes_int=True))
+
+# --- floating point arithmetic ----------------------------------------------
+for _suffix, _dbl in ((".s", False), (".d", True)):
+    _register(_spec("add" + _suffix, Kind.FP_ADD, "fdfsft", writes_fp=True, double=_dbl))
+    _register(_spec("sub" + _suffix, Kind.FP_ADD, "fdfsft", writes_fp=True, double=_dbl))
+    _register(_spec("abs" + _suffix, Kind.FP_ADD, "fdfs", writes_fp=True, double=_dbl))
+    _register(_spec("neg" + _suffix, Kind.FP_ADD, "fdfs", writes_fp=True, double=_dbl))
+    _register(_spec("mul" + _suffix, Kind.FP_MUL, "fdfsft", writes_fp=True, double=_dbl))
+    _register(_spec("div" + _suffix, Kind.FP_DIV, "fdfsft", writes_fp=True, double=_dbl))
+    _register(_spec("sqrt" + _suffix, Kind.FP_DIV, "fdfs", writes_fp=True, double=_dbl))
+    _register(_spec("mov" + _suffix, Kind.FP_CVT, "fdfs", writes_fp=True, double=_dbl))
+    for _cond in ("eq", "lt", "le"):
+        _register(_spec(f"c.{_cond}{_suffix}", Kind.FP_ADD, "fsft", double=_dbl))
+
+# --- conversions (between single, double, and integer word formats) ---------
+for _name in ("cvt.d.s", "cvt.d.w"):
+    _register(_spec(_name, Kind.FP_CVT, "fdfs", writes_fp=True, double=True))
+for _name in ("cvt.s.d", "cvt.s.w", "cvt.w.s", "cvt.w.d"):
+    _register(_spec(_name, Kind.FP_CVT, "fdfs", writes_fp=True))
+
+# --- FP condition branches ---------------------------------------------------
+_register(_spec("bc1t", Kind.BRANCH, "j"))
+_register(_spec("bc1f", Kind.BRANCH, "j"))
+
+# --- FP memory and moves ------------------------------------------------------
+_register(_spec("lwc1", Kind.FP_LOAD, "fdm", writes_fp=True))
+_register(_spec("swc1", Kind.FP_STORE, "ftm"))
+_register(_spec("ldc1", Kind.FP_LOAD, "fdm", writes_fp=True, double=True))
+_register(_spec("sdc1", Kind.FP_STORE, "ftm", double=True))
+_register(_spec("mtc1", Kind.FP_MOVE, "tfd", writes_fp=True))
+_register(_spec("mfc1", Kind.FP_MOVE, "dfs", writes_int=True))
+
+# --- miscellaneous -------------------------------------------------------------
+_register(_spec("nop", Kind.NOP, ""))
+_register(_spec("halt", Kind.HALT, ""))
+
+
+@dataclass
+class Instruction:
+    """One assembled instruction.
+
+    Fields not used by the opcode stay at their defaults; ``label`` holds an
+    unresolved branch/jump target until the assembler's second pass fills in
+    ``target`` (a word index into the program).
+    """
+
+    op: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    fd: int = 0
+    fs: int = 0
+    ft: int = 0
+    imm: int = 0
+    label: str | None = None
+    target: int | None = None
+    #: program-relative word index, assigned at assembly time
+    index: int = field(default=-1, compare=False)
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.op]
+
+    @property
+    def kind(self) -> Kind:
+        return OPCODES[self.op].kind
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op]
+        spec = self.spec
+        ops = []
+        fmt = spec.operands
+        if "fd" in fmt:
+            ops.append(f"f{self.fd}")
+        if "d" in fmt.replace("fd", ""):
+            ops.append(f"r{self.rd}")
+        if "fs" in fmt:
+            ops.append(f"f{self.fs}")
+        if "s" in fmt.replace("fs", "").replace("dst", "ds t").replace("fd", ""):
+            ops.append(f"r{self.rs}")
+        if "ft" in fmt:
+            ops.append(f"f{self.ft}")
+        if self.label is not None:
+            ops.append(self.label)
+        elif "i" in fmt or "m" in fmt:
+            ops.append(str(self.imm))
+        return parts[0] + " " + ", ".join(ops)

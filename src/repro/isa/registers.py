@@ -1,0 +1,125 @@
+"""Register definitions for the MIPS-R3000-like ISA subset.
+
+The Aurora III implements the MIPS R3000 ISA (paper, Section 1).  We model
+the 32 general-purpose integer registers with their conventional software
+names and the 32 floating-point registers of coprocessor 1.  Double-precision
+values occupy an even/odd FP register pair, exactly as on the R3000; the
+FPU's 32x64 register file (paper, Section 3.1) is visible to software as 32
+single-precision registers pairable into 16 doubles.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Conventional MIPS software names for the integer registers, by number.
+INT_REG_NAMES: tuple[str, ...] = (
+    "zero",
+    "at",
+    "v0",
+    "v1",
+    "a0",
+    "a1",
+    "a2",
+    "a3",
+    "t0",
+    "t1",
+    "t2",
+    "t3",
+    "t4",
+    "t5",
+    "t6",
+    "t7",
+    "s0",
+    "s1",
+    "s2",
+    "s3",
+    "s4",
+    "s5",
+    "s6",
+    "s7",
+    "t8",
+    "t9",
+    "k0",
+    "k1",
+    "gp",
+    "sp",
+    "fp",
+    "ra",
+)
+
+#: Map from every accepted spelling ("t0", "$t0", "r8", "$8") to number.
+_INT_REG_NUMBERS: dict[str, int] = {}
+for _num, _name in enumerate(INT_REG_NAMES):
+    _INT_REG_NUMBERS[_name] = _num
+    _INT_REG_NUMBERS["$" + _name] = _num
+    _INT_REG_NUMBERS["r%d" % _num] = _num
+    _INT_REG_NUMBERS["$%d" % _num] = _num
+
+_FP_REG_NUMBERS: dict[str, int] = {}
+for _num in range(NUM_FP_REGS):
+    _FP_REG_NUMBERS["f%d" % _num] = _num
+    _FP_REG_NUMBERS["$f%d" % _num] = _num
+
+
+class RegisterError(ValueError):
+    """Raised for an unknown register spelling or an invalid register use."""
+
+
+def int_reg(spec: int | str) -> int:
+    """Resolve an integer register specifier to its number (0-31).
+
+    Accepts an int already in range, a conventional name ("t0", "$sp"),
+    or a numeric name ("r8", "$8").
+    """
+    if isinstance(spec, int):
+        if 0 <= spec < NUM_INT_REGS:
+            return spec
+        raise RegisterError(f"integer register number out of range: {spec}")
+    key = spec.strip().lower()
+    try:
+        return _INT_REG_NUMBERS[key]
+    except KeyError:
+        raise RegisterError(f"unknown integer register: {spec!r}") from None
+
+
+def fp_reg(spec: int | str) -> int:
+    """Resolve a floating-point register specifier to its number (0-31)."""
+    if isinstance(spec, int):
+        if 0 <= spec < NUM_FP_REGS:
+            return spec
+        raise RegisterError(f"FP register number out of range: {spec}")
+    key = spec.strip().lower()
+    try:
+        return _FP_REG_NUMBERS[key]
+    except KeyError:
+        raise RegisterError(f"unknown FP register: {spec!r}") from None
+
+
+def fp_double_reg(spec: int | str) -> int:
+    """Resolve an FP register that names a double-precision pair.
+
+    Doubles live in even/odd pairs on the R3000; the even register names
+    the pair, so an odd register here is a programming error.
+    """
+    num = fp_reg(spec)
+    if num % 2 != 0:
+        raise RegisterError(
+            f"double-precision values must use an even FP register, got f{num}"
+        )
+    return num
+
+
+def int_reg_name(num: int) -> str:
+    """Conventional name ("t0") for an integer register number."""
+    if not 0 <= num < NUM_INT_REGS:
+        raise RegisterError(f"integer register number out of range: {num}")
+    return INT_REG_NAMES[num]
+
+
+def fp_reg_name(num: int) -> str:
+    """Name ("f4") for an FP register number."""
+    if not 0 <= num < NUM_FP_REGS:
+        raise RegisterError(f"FP register number out of range: {num}")
+    return "f%d" % num

@@ -1,0 +1,31 @@
+"""SPEC92-analogue workload kernels and the workload registry."""
+
+from repro.workloads.registry import (
+    FP_SUITE,
+    INTEGER_SUITE,
+    WorkloadError,
+    WorkloadSpec,
+    all_specs,
+    build_program,
+    clear_trace_cache,
+    fp_traces,
+    get_spec,
+    get_trace,
+    integer_traces,
+    workload,
+)
+
+__all__ = [
+    "FP_SUITE",
+    "INTEGER_SUITE",
+    "WorkloadError",
+    "WorkloadSpec",
+    "all_specs",
+    "build_program",
+    "clear_trace_cache",
+    "fp_traces",
+    "get_spec",
+    "get_trace",
+    "integer_traces",
+    "workload",
+]

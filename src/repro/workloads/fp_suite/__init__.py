@@ -1,0 +1,15 @@
+"""SPECfp92-analogue kernels.
+
+Importing this package registers all nine FP workloads used in the
+paper's FPU studies (Table 6 and Figure 9).
+"""
+
+from repro.workloads.fp_suite import alvinn_kernel  # noqa: F401
+from repro.workloads.fp_suite import doduc_kernel  # noqa: F401
+from repro.workloads.fp_suite import ear_kernel  # noqa: F401
+from repro.workloads.fp_suite import hydro2d_kernel  # noqa: F401
+from repro.workloads.fp_suite import mdljdp2_kernel  # noqa: F401
+from repro.workloads.fp_suite import nasa7_kernel  # noqa: F401
+from repro.workloads.fp_suite import ora_kernel  # noqa: F401
+from repro.workloads.fp_suite import spice_kernel  # noqa: F401
+from repro.workloads.fp_suite import su2cor_kernel  # noqa: F401

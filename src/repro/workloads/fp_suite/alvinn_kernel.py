@@ -1,0 +1,115 @@
+"""alvinn analogue: neural-network forward propagation (single precision).
+
+SPEC's alvinn trains a road-following network; its time goes to
+dense matrix-vector products in *single precision* — two loads per
+multiply-accumulate, long dot-product dependence chains through one
+accumulator, and a divide per unit for the sigmoid.  It is memory-bound:
+the paper's Table 6 shows alvinn barely improves from better FPU issue
+policies (2.113 / 2.111 / 2.107), and this kernel preserves that
+character (the FP loads, not the functional units, are the bottleneck).
+
+``scale`` is the input-layer width.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_HIDDEN = 32
+_OUTPUTS = 8
+
+
+@workload(
+    "alvinn",
+    suite="fp",
+    default_scale=192,
+    description="NN forward pass: single-precision dot products + sigmoid",
+)
+def build(scale: int) -> Program:
+    if scale < 8:
+        raise ValueError("alvinn needs at least 8 inputs")
+    rng = Lcg(seed=0xA1B1A1B1)
+    asm = Assembler()
+
+    asm.data_label("inputs")
+    asm.float_single(*[rng.next_float(-1.0, 1.0) for _ in range(scale)])
+    asm.data_label("weights1")
+    asm.float_single(*[rng.next_float(-0.5, 0.5) for _ in range(_HIDDEN * scale)])
+    asm.data_label("hidden")
+    asm.float_single(*([0.0] * _HIDDEN))
+    asm.data_label("weights2")
+    asm.float_single(*[rng.next_float(-0.5, 0.5) for _ in range(_OUTPUTS * _HIDDEN)])
+    asm.data_label("outputs")
+    asm.float_single(*([0.0] * _OUTPUTS))
+    asm.data_label("fone")
+    asm.float_single(1.0)
+
+    asm.li("s7", 4 * scale)  # weight-row stride in bytes, live all run
+
+    def layer(tag: str, in_label: str, w_label: str, out_label: str,
+              units: int, width: int) -> None:
+        # s0 = unit index, s1 = weight cursor, s2 = input cursor,
+        # s3 = inner count, s4 = output cursor
+        asm.la("s1", w_label)
+        asm.la("s4", out_label)
+        asm.li("s0", units)
+        asm.label(f"{tag}_unit")
+        asm.la("s2", in_label)
+        asm.li("s3", width)
+        asm.mtc1("zero", "f2")  # accumulator = 0
+        asm.label(f"{tag}_dot")
+        asm.lwc1("f4", 0, "s1")
+        asm.lwc1("f6", 0, "s2")
+        asm.mul_s("f4", "f4", "f6")
+        asm.add_s("f2", "f2", "f4")
+        asm.addiu("s1", "s1", 4)
+        asm.addiu("s2", "s2", 4)
+        asm.addiu("s3", "s3", -1)
+        asm.bne("s3", "zero", f"{tag}_dot")
+        # sigmoid approximation: y = x / (1 + |x|)
+        asm.abs_s("f8", "f2")
+        asm.la("t0", "fone")
+        asm.lwc1("f10", 0, "t0")
+        asm.add_s("f8", "f8", "f10")
+        asm.div_s("f2", "f2", "f8")
+        asm.swc1("f2", 0, "s4")
+        asm.addiu("s4", "s4", 4)
+        asm.addiu("s0", "s0", -1)
+        asm.bne("s0", "zero", f"{tag}_unit")
+
+    layer("l1", "inputs", "weights1", "hidden", _HIDDEN, scale)
+    layer("l2", "hidden", "weights2", "outputs", _OUTPUTS, _HIDDEN)
+
+    # Backward pass: column-major weight updates, w[h][i] += x[i]*d[h].
+    # The column walk strides a whole row of weights per step — every
+    # access touches a new cache line and defeats sequential prefetch,
+    # which is what makes real alvinn memory-bound and insensitive to
+    # FPU issue policy (Table 6: 2.113 / 2.111 / 2.107).
+    asm.la("s0", "inputs")
+    asm.li("s1", scale)  # input index countdown
+    asm.li("t9", 0)  # column byte offset
+    asm.label("bp_col")
+    asm.lwc1("f0", 0, "s0")  # x[i]
+    asm.la("s2", "weights1")
+    asm.addu("s2", "s2", "t9")
+    asm.la("s3", "hidden")
+    asm.li("s5", _HIDDEN)
+    asm.label("bp_row")
+    asm.lwc1("f2", 0, "s3")  # delta[h] (reuse hidden activations)
+    asm.lwc1("f4", 0, "s2")  # w[h][i]
+    asm.mul_s("f6", "f0", "f2")
+    asm.add_s("f4", "f4", "f6")
+    asm.swc1("f4", 0, "s2")
+    asm.addu("s2", "s2", "s7")  # stride = one weight row (bytes)
+    asm.addiu("s3", "s3", 4)
+    asm.addiu("s5", "s5", -1)
+    asm.bne("s5", "zero", "bp_row")
+    asm.addiu("s0", "s0", 4)
+    asm.addiu("t9", "t9", 4)
+    asm.addiu("s1", "s1", -1)
+    asm.bne("s1", "zero", "bp_col")
+    asm.halt()
+    return build_and_check(asm)

@@ -1,0 +1,107 @@
+"""doduc analogue: Monte Carlo reactor simulation (double precision).
+
+SPEC's doduc is a Monte Carlo simulation of a nuclear reactor: an
+irregular mix of double-precision adds and multiplies steered by
+data-dependent branches, periodic divides, and a sprinkling of state
+loads/stores.  Moderate ILP: Table 6 shows a solid single-issue OOC gain
+(1.957 -> 1.782) and a further dual gain (1.671).
+
+``scale`` is the number of Monte Carlo steps.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_STATE_SLOTS = 32
+
+
+@workload(
+    "doduc",
+    suite="fp",
+    default_scale=5000,
+    description="Monte Carlo: branchy add/mul mix with periodic divides",
+)
+def build(scale: int) -> Program:
+    if scale < 16:
+        raise ValueError("doduc needs at least 16 steps")
+    rng = Lcg(seed=0xD0D0C)
+    asm = Assembler()
+
+    asm.data_label("state")
+    asm.float_double(*[rng.next_float(0.5, 2.0) for _ in range(_STATE_SLOTS)])
+    asm.data_label("cone")
+    asm.float_double(1.0)
+    asm.data_label("chalf")
+    asm.float_double(0.5)
+    asm.data_label("cgain")
+    asm.float_double(1.0009765625)
+
+    # f2 = accumulator-1, f4 = accumulator-2, f6 = divide chain
+    # f20 = 1.0, f22 = 0.5, f24 = gain
+    asm.la("t0", "cone")
+    asm.ldc1("f20", 0, "t0")
+    asm.la("t0", "chalf")
+    asm.ldc1("f22", 0, "t0")
+    asm.la("t0", "cgain")
+    asm.ldc1("f24", 0, "t0")
+    asm.mtc1("zero", "f2")
+    asm.cvt_d_w("f2", "f2")
+    asm.add_d("f4", "f2", "f20")
+    asm.add_d("f6", "f2", "f20")
+    asm.la("s2", "state")
+    asm.li("s1", 0x2545)  # LCG state
+    asm.li("s0", scale)
+
+    asm.label("mc_step")
+    # integer LCG particle draw
+    asm.li("t0", 1664525)
+    asm.multu("s1", "t0")
+    asm.mflo("s1")
+    asm.addiu("s1", "s1", 12345)
+    asm.srl("t1", "s1", 16)
+    asm.andi("t1", "t1", 0x7FFF)
+    # convert the draw to double in [0, 1)-ish
+    asm.mtc1("t1", "f8")
+    asm.cvt_d_w("f8", "f8")
+    asm.mul_d("f8", "f8", "f24")
+    # data-dependent branch: absorption vs. scattering path
+    asm.andi("t2", "s1", 1)
+    asm.beq("t2", "zero", "mc_scatter")
+    # absorption: acc1 = acc1 * 0.5 + draw
+    asm.mul_d("f2", "f2", "f22")
+    asm.add_d("f2", "f2", "f8")
+    asm.b("mc_state")
+    asm.label("mc_scatter")
+    # scattering: acc2 += draw * gain ; acc1 += 1.0
+    asm.mul_d("f10", "f8", "f24")
+    asm.add_d("f4", "f4", "f10")
+    asm.add_d("f2", "f2", "f20")
+    asm.label("mc_state")
+    # state-table update (scattered doubles)
+    asm.andi("t3", "s1", _STATE_SLOTS - 1)
+    asm.sll("t3", "t3", 3)
+    asm.addu("t4", "s2", "t3")
+    asm.ldc1("f12", 0, "t4")
+    asm.add_d("f12", "f12", "f8")
+    asm.sdc1("f12", 0, "t4")
+    # every 8th step: renormalise with a divide
+    asm.andi("t5", "s0", 7)
+    asm.bne("t5", "zero", "mc_next")
+    asm.add_d("f14", "f4", "f20")  # keep the divisor away from zero
+    asm.div_d("f6", "f2", "f14")
+    asm.mul_d("f4", "f4", "f22")
+    asm.label("mc_next")
+    asm.addiu("s0", "s0", -1)
+    asm.bne("s0", "zero", "mc_step")
+
+    # fold the accumulators into memory so nothing is dead code
+    asm.la("t0", "state")
+    asm.sdc1("f2", 0, "t0")
+    asm.sdc1("f4", 8, "t0")
+    asm.sdc1("f6", 16, "t0")
+    asm.halt()
+    return build_and_check(asm)

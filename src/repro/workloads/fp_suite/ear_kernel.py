@@ -1,0 +1,102 @@
+"""ear analogue: cochlear filterbank (cascaded second-order IIR sections).
+
+SPEC's ear models the human ear with a cascade of second-order filter
+sections per channel: tight multiply-add recurrences through per-channel
+state (the output of one section feeds the next), giving long dependence
+chains that expose the add/multiply unit latencies — but across channels
+there is parallelism, so out-of-order completion and dual issue help
+(Table 6: 1.299 -> 1.155 -> 1.022).
+
+``scale`` is the number of input samples.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_CHANNELS = 12
+
+
+@workload(
+    "ear",
+    suite="fp",
+    default_scale=160,
+    description="IIR filterbank: mul-add recurrences across channels",
+)
+def build(scale: int) -> Program:
+    if scale < 4:
+        raise ValueError("ear needs at least 4 samples")
+    rng = Lcg(seed=0xEA4EA4)
+    asm = Assembler()
+
+    asm.data_label("samples")
+    asm.float_double(*[rng.next_float(-1.0, 1.0) for _ in range(scale)])
+    asm.data_label("coeffs")  # per channel: b0, b1, b2, a1, a2
+    for _ in range(_CHANNELS):
+        asm.float_double(
+            rng.next_float(0.1, 0.9),
+            rng.next_float(-0.5, 0.5),
+            rng.next_float(-0.5, 0.5),
+            rng.next_float(-0.9, -0.1),
+            rng.next_float(0.05, 0.4),
+        )
+    asm.data_label("zstate")  # per channel: z1, z2
+    asm.float_double(*([0.0] * (2 * _CHANNELS)))
+    asm.data_label("energy")  # per channel accumulated output energy
+    asm.float_double(*([0.0] * _CHANNELS))
+
+    # s0 = sample cursor, s1 = samples left, s2 = channel cursor bases
+    asm.la("s0", "samples")
+    asm.li("s1", scale)
+
+    asm.label("sample_loop")
+    asm.ldc1("f0", 0, "s0")  # x = input sample
+    asm.la("s2", "coeffs")
+    asm.la("s3", "zstate")
+    asm.la("s4", "energy")
+    asm.li("s5", _CHANNELS)
+
+    asm.label("chan_loop")
+    # Direct-form-II-transposed second-order section:
+    #   y  = b0*x + z1
+    #   z1 = b1*x - a1*y + z2
+    #   z2 = b2*x - a2*y
+    asm.ldc1("f2", 0, "s2")  # b0
+    asm.ldc1("f4", 8, "s2")  # b1
+    asm.ldc1("f6", 16, "s2")  # b2
+    asm.ldc1("f8", 24, "s2")  # a1
+    asm.ldc1("f10", 32, "s2")  # a2
+    asm.ldc1("f12", 0, "s3")  # z1
+    asm.ldc1("f14", 8, "s3")  # z2
+    asm.mul_d("f16", "f2", "f0")
+    asm.add_d("f16", "f16", "f12")  # y
+    asm.mul_d("f18", "f4", "f0")
+    asm.mul_d("f20", "f8", "f16")
+    asm.add_d("f18", "f18", "f20")
+    asm.add_d("f18", "f18", "f14")  # new z1
+    asm.mul_d("f22", "f6", "f0")
+    asm.mul_d("f24", "f10", "f16")
+    asm.sub_d("f22", "f22", "f24")  # new z2
+    asm.sdc1("f18", 0, "s3")
+    asm.sdc1("f22", 8, "s3")
+    # accumulate output energy: e += y*y
+    asm.ldc1("f26", 0, "s4")
+    asm.mul_d("f28", "f16", "f16")
+    asm.add_d("f26", "f26", "f28")
+    asm.sdc1("f26", 0, "s4")
+    # the cascade: this section's output feeds the next channel's input
+    asm.mov_d("f0", "f16")
+    asm.addiu("s2", "s2", 40)
+    asm.addiu("s3", "s3", 16)
+    asm.addiu("s4", "s4", 8)
+    asm.addiu("s5", "s5", -1)
+    asm.bne("s5", "zero", "chan_loop")
+
+    asm.addiu("s0", "s0", 8)
+    asm.addiu("s1", "s1", -1)
+    asm.bne("s1", "zero", "sample_loop")
+    asm.halt()
+    return build_and_check(asm)

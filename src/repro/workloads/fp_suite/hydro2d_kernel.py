@@ -1,0 +1,97 @@
+"""hydro2d analogue: 2-D hydrodynamics stencil sweeps (double precision).
+
+SPEC's hydro2d solves Navier-Stokes on a 2-D grid; the time goes to
+regular stencil sweeps — neighbouring cells are independent, so there is
+abundant instruction-level parallelism and dual issue pays off strongly
+(Table 6: 1.298 in-order -> 0.999 dual, one of the best dual-issue
+results in the suite).  The streaming grid walks also make it a good
+D-prefetch citizen.
+
+``scale`` is the grid edge length.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_SWEEPS = 3
+
+
+@workload(
+    "hydro2d",
+    suite="fp",
+    default_scale=36,
+    description="Jacobi-style 2D stencil: independent mul/add streams",
+)
+def build(scale: int) -> Program:
+    if scale < 6:
+        raise ValueError("hydro2d needs at least a 6x6 grid")
+    rng = Lcg(seed=0x44D420)
+    asm = Assembler()
+    cells = scale * scale
+    row_bytes = 8 * scale
+
+    asm.data_label("grid_a")
+    asm.float_double(*[rng.next_float(0.0, 4.0) for _ in range(cells)])
+    asm.data_label("grid_b")
+    asm.float_double(*([0.0] * cells))
+    asm.data_label("cquarter")
+    asm.float_double(0.25)
+    asm.data_label("crelax")
+    asm.float_double(0.9)
+
+    asm.la("t0", "cquarter")
+    asm.ldc1("f20", 0, "t0")
+    asm.la("t0", "crelax")
+    asm.ldc1("f22", 0, "t0")
+
+    # s0 = source base, s1 = dest base, s7 = sweeps
+    asm.la("s0", "grid_a")
+    asm.la("s1", "grid_b")
+    asm.li("s7", _SWEEPS)
+
+    asm.label("sweep")
+    # interior rows 1..scale-2, columns 1..scale-2
+    asm.li("s2", 1)  # row
+    asm.label("row_loop")
+    # s4 = &src[row][1], s5 = &dst[row][1]
+    asm.li("t0", row_bytes)
+    asm.multu("s2", "t0")
+    asm.mflo("t1")
+    asm.addu("s4", "s0", "t1")
+    asm.addiu("s4", "s4", 8)
+    asm.addu("s5", "s1", "t1")
+    asm.addiu("s5", "s5", 8)
+    asm.li("s3", scale - 2)  # columns in this row
+    asm.label("col_loop")
+    # two independent stencil chains per iteration (ILP for dual issue)
+    asm.ldc1("f0", -8, "s4")  # west
+    asm.ldc1("f2", 8, "s4")  # east
+    asm.ldc1("f4", -row_bytes, "s4")  # north
+    asm.ldc1("f6", row_bytes, "s4")  # south
+    asm.ldc1("f8", 0, "s4")  # centre
+    asm.add_d("f10", "f0", "f2")
+    asm.add_d("f12", "f4", "f6")
+    asm.add_d("f10", "f10", "f12")
+    asm.mul_d("f10", "f10", "f20")  # neighbour average
+    asm.mul_d("f14", "f8", "f22")  # relaxed centre
+    asm.add_d("f10", "f10", "f14")
+    asm.sdc1("f10", 0, "s5")
+    asm.addiu("s4", "s4", 8)
+    asm.addiu("s5", "s5", 8)
+    asm.addiu("s3", "s3", -1)
+    asm.bne("s3", "zero", "col_loop")
+    asm.addiu("s2", "s2", 1)
+    asm.li("t2", scale - 1)
+    asm.bne("s2", "t2", "row_loop")
+    # ping-pong the grids
+    asm.move("t3", "s0")
+    asm.move("s0", "s1")
+    asm.move("s1", "t3")
+    asm.addiu("s7", "s7", -1)
+    asm.bne("s7", "zero", "sweep")
+    asm.halt()
+    return build_and_check(asm)

@@ -1,0 +1,111 @@
+"""mdljdp2 analogue: molecular-dynamics pair forces (double precision).
+
+SPEC's mdljdp2 integrates Lennard-Jones particle motion; the dominant
+loop computes pairwise distances and forces — subtract/multiply/add
+chains with one reciprocal (divide) per pair, and scattered particle
+array updates.  Independent work across pairs gives dual issue a large
+win (Table 6: 1.344 -> 0.948).
+
+``scale`` is the particle count (pairs grow quadratically).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_ITERATIONS = 2
+
+
+@workload(
+    "mdljdp2",
+    suite="fp",
+    default_scale=44,
+    description="N-body pair forces: sub/mul/add chains + divide per pair",
+)
+def build(scale: int) -> Program:
+    if scale < 4:
+        raise ValueError("mdljdp2 needs at least 4 particles")
+    rng = Lcg(seed=0x3D13D2)
+    asm = Assembler()
+
+    # positions and forces: 3 doubles each (x, y, z), AoS layout
+    asm.data_label("pos")
+    asm.float_double(*[rng.next_float(-4.0, 4.0) for _ in range(3 * scale)])
+    asm.data_label("force")
+    asm.float_double(*([0.0] * (3 * scale)))
+    asm.data_label("cone")
+    asm.float_double(1.0)
+    asm.data_label("ceps")
+    asm.float_double(0.0625)
+
+    asm.la("t0", "cone")
+    asm.ldc1("f28", 0, "t0")
+    asm.la("t0", "ceps")
+    asm.ldc1("f30", 0, "t0")
+
+    asm.la("s6", "pos")
+    asm.la("s7", "force")
+    asm.li("s5", _ITERATIONS)
+
+    asm.label("iter_loop")
+    asm.li("s0", 0)  # i
+    asm.label("i_loop")
+    asm.addiu("s1", "s0", 1)  # j
+    asm.label("j_loop")
+    # addresses: pos + 24*i, pos + 24*j
+    asm.li("t0", 24)
+    asm.multu("s0", "t0")
+    asm.mflo("t1")
+    asm.addu("s2", "s6", "t1")  # &pos[i]
+    asm.multu("s1", "t0")
+    asm.mflo("t2")
+    asm.addu("s3", "s6", "t2")  # &pos[j]
+    # dx, dy, dz
+    asm.ldc1("f0", 0, "s2")
+    asm.ldc1("f2", 0, "s3")
+    asm.sub_d("f0", "f0", "f2")
+    asm.ldc1("f4", 8, "s2")
+    asm.ldc1("f6", 8, "s3")
+    asm.sub_d("f4", "f4", "f6")
+    asm.ldc1("f8", 16, "s2")
+    asm.ldc1("f10", 16, "s3")
+    asm.sub_d("f8", "f8", "f10")
+    # r2 = dx*dx + dy*dy + dz*dz + eps
+    asm.mul_d("f12", "f0", "f0")
+    asm.mul_d("f14", "f4", "f4")
+    asm.mul_d("f16", "f8", "f8")
+    asm.add_d("f12", "f12", "f14")
+    asm.add_d("f12", "f12", "f16")
+    asm.add_d("f12", "f12", "f30")
+    # inv = 1 / r2  (the per-pair divide)
+    asm.div_d("f18", "f28", "f12")
+    # f = inv * inv * inv (LJ-ish repulsion term)
+    asm.mul_d("f20", "f18", "f18")
+    asm.mul_d("f20", "f20", "f18")
+    # accumulate forces on i (scattered read-modify-write)
+    asm.addu("t3", "s7", "t1")  # &force[i]
+    asm.ldc1("f22", 0, "t3")
+    asm.mul_d("f24", "f0", "f20")
+    asm.add_d("f22", "f22", "f24")
+    asm.sdc1("f22", 0, "t3")
+    asm.ldc1("f22", 8, "t3")
+    asm.mul_d("f24", "f4", "f20")
+    asm.add_d("f22", "f22", "f24")
+    asm.sdc1("f22", 8, "t3")
+    asm.ldc1("f22", 16, "t3")
+    asm.mul_d("f24", "f8", "f20")
+    asm.add_d("f22", "f22", "f24")
+    asm.sdc1("f22", 16, "t3")
+    asm.addiu("s1", "s1", 1)
+    asm.li("t4", scale)
+    asm.bne("s1", "t4", "j_loop")
+    asm.addiu("s0", "s0", 1)
+    asm.li("t5", scale - 1)
+    asm.bne("s0", "t5", "i_loop")
+    asm.addiu("s5", "s5", -1)
+    asm.bne("s5", "zero", "iter_loop")
+    asm.halt()
+    return build_and_check(asm)

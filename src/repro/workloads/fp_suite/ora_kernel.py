@@ -1,0 +1,120 @@
+"""ora analogue: optical ray tracing (divide/square-root bound).
+
+SPEC's ora traces rays through an optical system; each ray needs square
+roots and divides with almost no memory traffic.  The iterative divide
+unit (19 cycles, shared with square root) is the bottleneck, so better
+issue policies barely help — Table 6: 1.906 / 1.780 / 1.701, the
+flattest improvement in the suite next to alvinn — and Figure 9(f)'s
+divide-latency sweep moves ora most of all.
+
+``scale`` is the number of rays.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+
+@workload(
+    "ora",
+    suite="fp",
+    default_scale=1500,
+    description="ray-surface intersections: sqrt + divide per ray",
+)
+def build(scale: int) -> Program:
+    if scale < 4:
+        raise ValueError("ora needs at least 4 rays")
+    scale += scale % 2  # two rays retire per loop iteration
+    rng = Lcg(seed=0x04A04A)
+    asm = Assembler()
+
+    asm.data_label("rays")  # per ray: origin offset, direction (2 doubles)
+    asm.float_double(
+        *[rng.next_float(-1.0, 1.0) for _ in range(2 * scale)]
+    )
+    asm.data_label("hits")
+    asm.float_double(*([0.0] * 8))
+    asm.data_label("ts")
+    asm.float_double(*([0.0] * scale))
+    asm.data_label("cradius")
+    asm.float_double(4.0)
+    asm.data_label("cone")
+    asm.float_double(1.0)
+    asm.data_label("chalf")
+    asm.float_double(0.5)
+
+    asm.la("t0", "cradius")
+    asm.ldc1("f24", 0, "t0")
+    asm.la("t0", "cone")
+    asm.ldc1("f26", 0, "t0")
+    asm.la("t0", "chalf")
+    asm.ldc1("f22", 0, "t0")
+    asm.la("s0", "rays")
+    asm.la("s2", "hits")
+    asm.la("s3", "ts")
+    asm.li("s1", scale)
+    asm.mtc1("zero", "f28")  # hit accumulator
+    asm.cvt_d_w("f28", "f28")
+
+    # Two rays are software-pipelined per iteration (as a scheduling
+    # compiler would), and the hit parameters are *stored* rather than
+    # folded into an accumulator, so the in-order issue stream never
+    # blocks on a chain-ending add: the iterative divide unit alone sets
+    # the pace.  That is what makes ora nearly insensitive to issue
+    # policy in Table 6 while being the big mover in Figure 9(f)'s
+    # divide-latency sweep.
+    asm.label("ray_loop")
+    asm.ldc1("f0", 0, "s0")   # A: b
+    asm.ldc1("f2", 8, "s0")   # A: d
+    asm.ldc1("f4", 16, "s0")  # B: b
+    asm.ldc1("f6", 24, "s0")  # B: d
+    asm.mul_d("f8", "f0", "f0")
+    asm.mul_d("f16", "f4", "f4")
+    asm.mul_d("f10", "f2", "f2")
+    asm.mul_d("f18", "f6", "f6")
+    asm.sub_d("f8", "f8", "f10")
+    asm.sub_d("f16", "f16", "f18")
+    asm.add_d("f8", "f8", "f24")
+    asm.add_d("f16", "f16", "f24")
+    asm.abs_d("f8", "f8")
+    asm.abs_d("f16", "f16")
+    asm.sqrt_d("f12", "f8")
+    asm.sqrt_d("f20", "f16")
+    asm.sub_d("f12", "f12", "f0")
+    asm.sub_d("f20", "f20", "f4")
+    asm.add_d("f10", "f10", "f26")
+    asm.add_d("f18", "f18", "f26")
+    asm.div_d("f14", "f12", "f10")
+    asm.div_d("f30", "f20", "f18")
+    asm.sdc1("f14", 0, "s3")
+    asm.sdc1("f30", 8, "s3")
+    asm.addiu("s3", "s3", 16)
+    asm.addiu("s0", "s0", 32)
+    asm.addiu("s1", "s1", -2)
+    asm.bne("s1", "zero", "ray_loop")
+
+    # Second pass: surface-interaction polynomial over the stored hit
+    # parameters (multiply/add bound, no divides).
+    asm.la("s3", "ts")
+    asm.li("s1", scale)
+    asm.label("shade_loop")
+    asm.ldc1("f0", 0, "s3")
+    asm.ldc1("f2", 8, "s3")
+    asm.mul_d("f4", "f0", "f0")
+    asm.mul_d("f6", "f2", "f2")
+    asm.add_d("f4", "f4", "f26")
+    asm.add_d("f6", "f6", "f26")
+    asm.mul_d("f8", "f4", "f22")
+    asm.mul_d("f10", "f6", "f22")
+    asm.add_d("f28", "f28", "f8")
+    asm.add_d("f28", "f28", "f10")
+    asm.addiu("s3", "s3", 16)
+    asm.addiu("s1", "s1", -2)
+    asm.bne("s1", "zero", "shade_loop")
+
+    asm.sdc1("f28", 0, "s2")
+    asm.halt()
+    return build_and_check(asm)

@@ -1,0 +1,82 @@
+"""spice2g6 analogue: sparse-matrix circuit solve (integer/memory bound).
+
+SPEC's spice2g6 is a circuit simulator whose inner loops walk sparse
+matrix structures: index loads, pointer arithmetic, and scattered
+double-precision fetches with only a thin layer of FP arithmetic on top.
+Because the bottleneck is the integer/memory side, the FPU issue policy
+hardly matters — Table 6 shows 1.219 / 1.204 / 1.203, the flattest row
+in the table — and this kernel preserves that by keeping the FP fraction
+low relative to the indexing work.
+
+``scale`` is the matrix dimension (rows).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import DATA_BASE, Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_NNZ_PER_ROW = 5
+_ITERATIONS = 3
+
+
+@workload(
+    "spice2g6",
+    suite="fp",
+    default_scale=400,
+    description="sparse mat-vec: index chasing with thin FP on top",
+)
+def build(scale: int) -> Program:
+    if scale < 8:
+        raise ValueError("spice2g6 needs at least 8 rows")
+    rng = Lcg(seed=0x5B1CE)
+    asm = Assembler()
+    nnz = scale * _NNZ_PER_ROW
+
+    # CSR-ish structure: column indices + values per row, dense x and y.
+    asm.data_label("colidx")
+    cols = [rng.next_below(scale) for _ in range(nnz)]
+    asm.word(*cols)
+    asm.align(8)
+    asm.data_label("values")
+    asm.float_double(*[rng.next_float(-2.0, 2.0) for _ in range(nnz)])
+    asm.data_label("xvec")
+    asm.float_double(*[rng.next_float(-1.0, 1.0) for _ in range(scale)])
+    asm.data_label("yvec")
+    asm.float_double(*([0.0] * scale))
+
+    asm.la("s6", "xvec")
+    asm.li("s7", _ITERATIONS)
+
+    asm.label("solve_iter")
+    asm.la("s0", "colidx")
+    asm.la("s1", "values")
+    asm.la("s2", "yvec")
+    asm.li("s3", scale)  # rows left
+
+    asm.label("row_loop")
+    asm.mtc1("zero", "f0")
+    asm.cvt_d_w("f0", "f0")  # row accumulator
+    asm.li("s4", _NNZ_PER_ROW)
+    asm.label("nnz_loop")
+    asm.lw("t0", 0, "s0")  # column index
+    asm.sll("t0", "t0", 3)
+    asm.addu("t1", "s6", "t0")  # &x[col]
+    asm.ldc1("f2", 0, "t1")  # scattered x fetch
+    asm.ldc1("f4", 0, "s1")  # matrix value
+    asm.mul_d("f6", "f2", "f4")
+    asm.add_d("f0", "f0", "f6")
+    asm.addiu("s0", "s0", 4)
+    asm.addiu("s1", "s1", 8)
+    asm.addiu("s4", "s4", -1)
+    asm.bne("s4", "zero", "nnz_loop")
+    asm.sdc1("f0", 0, "s2")
+    asm.addiu("s2", "s2", 8)
+    asm.addiu("s3", "s3", -1)
+    asm.bne("s3", "zero", "row_loop")
+    asm.addiu("s7", "s7", -1)
+    asm.bne("s7", "zero", "solve_iter")
+    asm.halt()
+    return build_and_check(asm)

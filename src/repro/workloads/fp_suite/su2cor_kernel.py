@@ -1,0 +1,105 @@
+"""su2cor analogue: SU(2) lattice gauge theory (complex linear algebra).
+
+SPEC's su2cor computes quark-propagator correlations on a 4-D lattice;
+the hot loops multiply complex 2x2 matrices into vectors — a balanced
+stream of multiplies and adds (four multiplies and two adds per complex
+product) with regular lattice strides.  Table 6: 1.973 in-order ->
+1.706 single OOC -> 1.557 dual.
+
+``scale`` is the number of lattice sites per sweep.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_SWEEPS = 2
+
+
+@workload(
+    "su2cor",
+    suite="fp",
+    default_scale=420,
+    description="complex 2x2 matrix-vector products over a lattice",
+)
+def build(scale: int) -> Program:
+    if scale < 4:
+        raise ValueError("su2cor needs at least 4 sites")
+    rng = Lcg(seed=0x50C042)
+    asm = Assembler()
+
+    # Per site: a complex 2x2 link matrix (8 doubles) and a complex
+    # 2-vector (4 doubles); result vectors are written back in place.
+    asm.data_label("links")
+    asm.float_double(*[rng.next_float(-1.0, 1.0) for _ in range(8 * scale)])
+    asm.data_label("vecs")
+    asm.float_double(*[rng.next_float(-1.0, 1.0) for _ in range(4 * scale)])
+
+    asm.li("s7", _SWEEPS)
+    asm.label("sweep")
+    asm.la("s0", "links")
+    asm.la("s1", "vecs")
+    asm.li("s2", scale)
+
+    asm.label("site_loop")
+    # load the vector (v0r, v0i, v1r, v1i)
+    asm.ldc1("f0", 0, "s1")
+    asm.ldc1("f2", 8, "s1")
+    asm.ldc1("f4", 16, "s1")
+    asm.ldc1("f6", 24, "s1")
+    # row 0 of the link matrix: (m00r, m00i, m01r, m01i)
+    asm.ldc1("f8", 0, "s0")
+    asm.ldc1("f10", 8, "s0")
+    asm.ldc1("f12", 16, "s0")
+    asm.ldc1("f14", 24, "s0")
+    # w0 = m00 * v0 + m01 * v1   (complex)
+    asm.mul_d("f16", "f8", "f0")
+    asm.mul_d("f18", "f10", "f2")
+    asm.sub_d("f16", "f16", "f18")  # real part of m00*v0
+    asm.mul_d("f20", "f8", "f2")
+    asm.mul_d("f22", "f10", "f0")
+    asm.add_d("f20", "f20", "f22")  # imag part of m00*v0
+    asm.mul_d("f24", "f12", "f4")
+    asm.mul_d("f26", "f14", "f6")
+    asm.sub_d("f24", "f24", "f26")
+    asm.add_d("f16", "f16", "f24")  # w0r
+    asm.mul_d("f24", "f12", "f6")
+    asm.mul_d("f26", "f14", "f4")
+    asm.add_d("f24", "f24", "f26")
+    asm.add_d("f20", "f20", "f24")  # w0i
+    # row 1 of the link matrix
+    asm.ldc1("f8", 32, "s0")
+    asm.ldc1("f10", 40, "s0")
+    asm.ldc1("f12", 48, "s0")
+    asm.ldc1("f14", 56, "s0")
+    # w1 = m10 * v0 + m11 * v1   (complex)
+    asm.mul_d("f24", "f8", "f0")
+    asm.mul_d("f26", "f10", "f2")
+    asm.sub_d("f24", "f24", "f26")
+    asm.mul_d("f28", "f12", "f4")
+    asm.mul_d("f30", "f14", "f6")
+    asm.sub_d("f28", "f28", "f30")
+    asm.add_d("f24", "f24", "f28")  # w1r
+    asm.mul_d("f28", "f8", "f2")
+    asm.mul_d("f30", "f10", "f0")
+    asm.add_d("f28", "f28", "f30")
+    asm.mul_d("f0", "f12", "f6")
+    asm.mul_d("f2", "f14", "f4")
+    asm.add_d("f0", "f0", "f2")
+    asm.add_d("f28", "f28", "f0")  # w1i
+    # store the updated vector
+    asm.sdc1("f16", 0, "s1")
+    asm.sdc1("f20", 8, "s1")
+    asm.sdc1("f24", 16, "s1")
+    asm.sdc1("f28", 24, "s1")
+    asm.addiu("s0", "s0", 64)
+    asm.addiu("s1", "s1", 32)
+    asm.addiu("s2", "s2", -1)
+    asm.bne("s2", "zero", "site_loop")
+    asm.addiu("s7", "s7", -1)
+    asm.bne("s7", "zero", "sweep")
+    asm.halt()
+    return build_and_check(asm)

@@ -1,0 +1,11 @@
+"""SPECint92-analogue kernels (espresso, li, eqntott, compress, sc, gcc).
+
+Importing this package registers all six integer workloads.
+"""
+
+from repro.workloads.integer_suite import espresso_kernel  # noqa: F401
+from repro.workloads.integer_suite import li_kernel  # noqa: F401
+from repro.workloads.integer_suite import eqntott_kernel  # noqa: F401
+from repro.workloads.integer_suite import compress_kernel  # noqa: F401
+from repro.workloads.integer_suite import sc_kernel  # noqa: F401
+from repro.workloads.integer_suite import gcc_kernel  # noqa: F401

@@ -1,0 +1,172 @@
+"""compress analogue: LZW-style dictionary compression.
+
+SPEC's compress is LZW: a sequential scan of the input bytes, a large
+hash table probed with a double-hash open-addressing scheme (the classic
+``(char << hshift) ^ prefix`` probe), and a sequential code output
+stream.  The hash table is the D-cache stressor — probes scatter across
+a table much larger than the primary cache — while input and output are
+perfectly sequential (stream-buffer- and write-cache-friendly).
+
+``scale`` is the input length in bytes.  The input is skewed pseudo-text
+(letter frequencies roughly English-like) so dictionary hits and misses
+interleave realistically.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import (
+    Lcg,
+    build_and_check,
+    emit_library,
+    emit_library_rounds,
+    emit_round_dispatcher,
+)
+
+_TABLE_ENTRIES = 2048  # 2 words each: key, code  -> 16 KB table
+_FIRST_FREE_CODE = 257
+#: Stop inserting once the dictionary holds this many codes (load factor
+#: 0.5), mirroring real compress's code-size limit; prevents the probe
+#: loop from degenerating as the table saturates.
+_MAX_CODE = _FIRST_FREE_CODE + _TABLE_ENTRIES // 2
+
+
+@workload(
+    "compress",
+    suite="int",
+    default_scale=4000,
+    description="LZW compression: hash probing over a 16 KB table",
+)
+def build(scale: int) -> Program:
+    """``scale`` is the number of input bytes to compress."""
+    if scale < 16:
+        raise ValueError("compress needs at least 16 input bytes")
+    rng = Lcg(seed=0xC03B7E55)
+    asm = Assembler()
+
+    # ------------------------------------------------------------ data
+    # Skewed byte distribution: a few characters dominate, like text.
+    alphabet = b"etaoinshrdlucmfwypvbgkjqxz .,\n"
+    weights = [12, 9, 8, 8, 7, 7, 6, 6, 6, 4, 4, 3, 3, 3, 2, 2, 2, 2,
+               1, 1, 1, 1, 1, 1, 1, 1, 18, 2, 1, 1]
+    cumulative: list[int] = []
+    total = 0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+
+    def skewed_byte() -> int:
+        pick = rng.next_below(total)
+        for idx, bound in enumerate(cumulative):
+            if pick < bound:
+                return alphabet[idx]
+        return alphabet[-1]
+
+    asm.data_label("input")
+    asm.byte(*[skewed_byte() for _ in range(scale)])
+    asm.align(4)
+    asm.data_label("htab_key")
+    asm.word(*([-1] * _TABLE_ENTRIES))
+    asm.data_label("htab_code")
+    asm.word(*([0] * _TABLE_ENTRIES))
+    asm.data_label("output")
+    asm.word(*([0] * (scale // 2 + 8)))
+    asm.data_label("out_count")
+    asm.word(0)
+    asm.data_label("lib_pool")
+    asm.word(*[rng.next_u32() & 0xFFFF for _ in range(2048)])
+
+    # ------------------------------------------------------------ main
+    # Register plan:
+    #   s0 = input cursor        s1 = input end
+    #   s2 = &htab_key           s3 = &htab_code
+    #   s4 = prefix code         s5 = next free code
+    #   s6 = output cursor       s7 = table mask
+    asm.la("s0", "input")
+    asm.addiu("s1", "s0", scale)
+    asm.la("s2", "htab_key")
+    asm.la("s3", "htab_code")
+    asm.la("s6", "output")
+    asm.li("s5", _FIRST_FREE_CODE)
+    asm.li("s7", _TABLE_ENTRIES - 1)
+
+    # prefix = first byte
+    asm.lbu("s4", 0, "s0")
+    asm.addiu("s0", "s0", 1)
+
+    asm.label("main_loop")
+    asm.lbu("a0", 0, "s0")  # c = next byte
+    asm.addiu("s0", "s0", 1)
+    # key = (prefix << 8) | c
+    asm.sll("t0", "s4", 8)
+    asm.or_("t0", "t0", "a0")  # t0 = key
+    # index = (key ^ key>>7 ^ key>>13) & mask  (spread the code bits)
+    asm.srl("t1", "t0", 7)
+    asm.xor("t1", "t1", "t0")
+    asm.srl("t2", "t0", 13)
+    asm.xor("t1", "t1", "t2")
+    asm.and_("t1", "t1", "s7")  # t1 = index
+    # stride = ((key >> 5) | 1) & mask  (odd: full-cycle double hashing)
+    asm.srl("a1", "t0", 5)
+    asm.ori("a1", "a1", 1)
+    asm.and_("a1", "a1", "s7")
+
+    # Open-addressing probe loop with double hashing (as in compress).
+    asm.label("probe")
+    asm.sll("t2", "t1", 2)
+    asm.addu("t3", "s2", "t2")
+    asm.lw("t4", 0, "t3")  # table key
+    asm.beq("t4", "t0", "dict_hit")
+    asm.li("t5", -1)
+    asm.beq("t4", "t5", "dict_miss")
+    asm.addu("t1", "t1", "a1")
+    asm.and_("t1", "t1", "s7")
+    asm.b("probe")
+
+    asm.label("dict_hit")
+    # prefix = code stored for this key
+    asm.addu("t6", "s3", "t2")
+    asm.lw("s4", 0, "t6")
+    asm.b("next_byte")
+
+    asm.label("dict_miss")
+    # emit prefix, insert (key -> next_code) unless the dictionary is
+    # full (compress's code limit), prefix = c
+    asm.sw("s4", 0, "s6")
+    asm.addiu("s6", "s6", 4)
+    asm.li("t7", _MAX_CODE)
+    asm.slt("t7", "s5", "t7")
+    asm.beq("t7", "zero", "dict_full")
+    asm.sw("t0", 0, "t3")  # htab_key[index] = key
+    asm.addu("t6", "s3", "t2")
+    asm.sw("s5", 0, "t6")  # htab_code[index] = next code
+    asm.addiu("s5", "s5", 1)
+    asm.label("dict_full")
+    asm.move("s4", "a0")
+
+    asm.label("next_byte")
+    # every 512 input bytes, run IO/bit-packing support work
+    asm.andi("t0", "s0", 511)
+    asm.bne("t0", "zero", "no_lib")
+    asm.srl("a0", "s0", 9)
+    asm.jal("lib_round")
+    asm.label("no_lib")
+    asm.bne("s0", "s1", "main_loop")
+
+    # flush final prefix and store the output length
+    asm.sw("s4", 0, "s6")
+    asm.addiu("s6", "s6", 4)
+    asm.la("t0", "output")
+    asm.subu("t1", "s6", "t0")
+    asm.sra("t1", "t1", 2)
+    asm.la("t2", "out_count")
+    asm.sw("t1", 0, "t2")
+    asm.halt()
+
+    lib = emit_library(asm, rng, "cmp", 40, "lib_pool", 2048)
+    rounds = emit_library_rounds(asm, "cmp", lib, 4, rng, 2048)
+    emit_round_dispatcher(asm, "lib_round", rounds)
+
+    return build_and_check(asm)

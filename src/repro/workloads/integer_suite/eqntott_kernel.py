@@ -1,0 +1,198 @@
+"""eqntott analogue: quicksort dominated by a comparison function.
+
+SPEC's eqntott converts boolean equations to truth tables; its execution
+time is famously dominated by ``cmppt``, a small comparison routine
+called from ``qsort`` — a tiny, hot code footprint, call-heavy control
+flow, and array accesses whose order becomes increasingly random as the
+partitions shuffle records around.
+
+This kernel sorts ``scale`` two-word records with a recursive quicksort
+(Lomuto partition) whose every comparison is an out-of-line ``cmppt``
+call, then emits a truth-table-like bit expansion of the sorted keys into
+a sequential output buffer.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import DATA_BASE, Program
+from repro.workloads.registry import workload
+from repro.workloads.support import (
+    Frame,
+    Lcg,
+    build_and_check,
+    emit_library,
+    emit_library_rounds,
+    emit_round_dispatcher,
+    enter,
+    leave,
+)
+
+
+@workload(
+    "eqntott",
+    suite="int",
+    default_scale=420,
+    description="recursive quicksort with out-of-line cmppt comparisons",
+)
+def build(scale: int) -> Program:
+    """``scale`` is the number of two-word records to sort."""
+    if scale < 4:
+        raise ValueError("eqntott needs at least 4 records")
+    rng = Lcg(seed=0xE46707)
+    asm = Assembler()
+
+    # ------------------------------------------------------------ data
+    # Like the real eqntott, we sort an array of *pointers* (ptv) to
+    # records; record storage order is shuffled so dereferences scatter.
+    perm = list(range(scale))
+    for i in range(scale - 1, 0, -1):
+        j = rng.next_below(i + 1)
+        perm[i], perm[j] = perm[j], perm[i]
+    asm.data_label("pts")
+    for _ in range(scale):
+        # Few distinct primary keys -> the tie-breaking second compare
+        # in cmppt is exercised often, as in the real cmppt.
+        asm.word(rng.next_below(64), rng.next_below(1 << 30))
+    asm.data_label("ptv")
+    for i in range(scale):
+        asm.word(DATA_BASE + 8 * perm[i])
+    asm.data_label("table")
+    asm.word(*([0] * scale))
+    asm.data_label("distinct")
+    asm.word(0)
+    asm.data_label("lib_pool")
+    asm.word(*[rng.next_u32() & 0xFFFF for _ in range(2048)])
+
+    # ------------------------------------------------------------ main
+    asm.la("s4", "ptv")  # pointer-vector base, live across the whole run
+    asm.li("a0", 0)
+    asm.li("a1", scale - 1)
+    asm.jal("quicksort")
+
+    # Truth-table expansion: sequential walk of the sorted pointer
+    # vector, scattered record dereferences, sequential output writes.
+    # Loop state lives in s-registers because lib_round clobbers t-regs.
+    asm.la("s0", "ptv")
+    asm.la("s1", "table")
+    asm.li("s2", scale)
+    asm.li("s3", -1)  # previous key
+    asm.li("s5", 0)  # distinct count
+    asm.label("tt_loop")
+    asm.lw("t7", 0, "s0")  # record pointer
+    asm.lw("t4", 0, "t7")
+    asm.lw("t5", 4, "t7")
+    asm.xor("t6", "t4", "t5")
+    asm.andi("t6", "t6", 0xFF)
+    asm.sw("t6", 0, "s1")
+    asm.beq("t4", "s3", "tt_same")
+    asm.addiu("s5", "s5", 1)
+    asm.move("s3", "t4")
+    asm.label("tt_same")
+    asm.addiu("s0", "s0", 4)
+    asm.addiu("s1", "s1", 4)
+    # equation-parsing/printing support work every 32 records
+    asm.andi("t6", "s2", 31)
+    asm.bne("t6", "zero", "tt_no_lib")
+    asm.srl("a0", "s2", 5)
+    asm.jal("lib_round")
+    asm.label("tt_no_lib")
+    asm.addiu("s2", "s2", -1)
+    asm.bne("s2", "zero", "tt_loop")
+    asm.la("t7", "distinct")
+    asm.sw("s5", 0, "t7")
+    asm.halt()
+
+    # ----------------------------------------- quicksort(a0=lo, a1=hi)
+    # Recursive, Lomuto partition; every comparison calls cmppt.
+    asm.label("quicksort")
+    frame = Frame(saved=("s0", "s1", "s2", "s3"))
+    asm.slt("t0", "a0", "a1")
+    with asm.noreorder():
+        asm.beq("t0", "zero", "qs_return")
+        asm.nop()
+    enter(asm, frame)
+    asm.move("s0", "a0")  # lo
+    asm.move("s1", "a1")  # hi
+    asm.addiu("s3", "s0", -1)  # i = lo - 1
+    asm.move("s2", "s0")  # j = lo
+
+    asm.label("qs_partition")
+    # a0 = ptv[j], a1 = ptv[hi] (record pointers)
+    asm.sll("t0", "s2", 2)
+    asm.addu("t8", "s4", "t0")
+    asm.lw("a0", 0, "t8")
+    asm.sll("t1", "s1", 2)
+    asm.addu("t9", "s4", "t1")
+    asm.lw("a1", 0, "t9")
+    asm.jal("cmppt")
+    asm.bgtz("v0", "qs_noswap")
+    asm.addiu("s3", "s3", 1)
+    # swap ptv[i] and ptv[j] (single pointer words)
+    asm.sll("t0", "s3", 2)
+    asm.addu("t0", "s4", "t0")
+    asm.sll("t1", "s2", 2)
+    asm.addu("t1", "s4", "t1")
+    asm.lw("t2", 0, "t0")
+    asm.lw("t4", 0, "t1")
+    asm.sw("t4", 0, "t0")
+    asm.sw("t2", 0, "t1")
+    asm.label("qs_noswap")
+    asm.addiu("s2", "s2", 1)
+    asm.bne("s2", "s1", "qs_partition")
+
+    # place pivot: swap ptv[i+1], ptv[hi]
+    asm.addiu("s3", "s3", 1)
+    asm.sll("t0", "s3", 2)
+    asm.addu("t0", "s4", "t0")
+    asm.sll("t1", "s1", 2)
+    asm.addu("t1", "s4", "t1")
+    asm.lw("t2", 0, "t0")
+    asm.lw("t4", 0, "t1")
+    asm.sw("t4", 0, "t0")
+    asm.sw("t2", 0, "t1")
+
+    # quicksort(lo, p-1)
+    asm.move("a0", "s0")
+    asm.addiu("a1", "s3", -1)
+    asm.jal("quicksort")
+    # quicksort(p+1, hi)
+    asm.addiu("a0", "s3", 1)
+    asm.move("a1", "s1")
+    asm.jal("quicksort")
+    leave(asm, frame)
+    asm.label("qs_return")
+    asm.jr("ra")
+
+    # ------------------------------------------- cmppt(a0, a1) -> v0
+    # Compare two records: primary key word, then the tie-break word.
+    asm.label("cmppt")
+    asm.lw("t0", 0, "a0")
+    asm.lw("t1", 0, "a1")
+    asm.slt("t2", "t0", "t1")
+    asm.bne("t2", "zero", "cp_neg")
+    asm.slt("t2", "t1", "t0")
+    asm.bne("t2", "zero", "cp_pos")
+    asm.lw("t0", 4, "a0")
+    asm.lw("t1", 4, "a1")
+    asm.slt("t2", "t0", "t1")
+    asm.bne("t2", "zero", "cp_neg")
+    asm.slt("t2", "t1", "t0")
+    asm.bne("t2", "zero", "cp_pos")
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.li("v0", 0)
+    asm.label("cp_neg")
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.li("v0", -1)
+    asm.label("cp_pos")
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.li("v0", 1)
+
+    lib = emit_library(asm, rng, "eqn", 40, "lib_pool", 2048)
+    rounds = emit_library_rounds(asm, "eqn", lib, 4, rng, 2048)
+    emit_round_dispatcher(asm, "lib_round", rounds)
+
+    return build_and_check(asm)

@@ -1,0 +1,175 @@
+"""espresso analogue: two-level logic-cover manipulation.
+
+SPEC's espresso minimises boolean functions represented as covers of
+*cubes* (bit-vector pairs).  Its hot loops AND cube bit-vectors together,
+count literals, and prune covered cubes — word-at-a-time bit manipulation
+over a moderate data set with data-dependent branches.
+
+This kernel reproduces that profile: a cover of ``scale`` cubes, each an
+8-word bit-vector; an O(n²) containment pass intersects every cube pair,
+counts the surviving literals with a Kernighan popcount (data-dependent
+inner branch), and marks covered cubes; a final pass compacts the cover,
+writing surviving cubes out sequentially (write-cache-friendly bursts).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import DATA_BASE, Program
+from repro.workloads.registry import workload
+from repro.workloads.support import (
+    Frame,
+    Lcg,
+    build_and_check,
+    emit_library,
+    emit_library_rounds,
+    emit_round_dispatcher,
+    enter,
+    leave,
+)
+
+_WORDS_PER_CUBE = 8
+_CUBE_BYTES = 4 * _WORDS_PER_CUBE
+
+
+@workload(
+    "espresso",
+    suite="int",
+    default_scale=40,
+    description="boolean cover containment + compaction (bit-vector heavy)",
+)
+def build(scale: int) -> Program:
+    """``scale`` is the number of cubes in the cover."""
+    if scale < 2:
+        raise ValueError("espresso needs at least 2 cubes")
+    rng = Lcg(seed=0xE5B4E550)
+    asm = Assembler()
+
+    # ------------------------------------------------------------ data
+    # The cover is an array of *pointers* to cubes (as in espresso's
+    # pset/pcover representation); cube storage order is shuffled so
+    # walking the cover is pointer-scattered, not streaming.
+    perm = list(range(scale))
+    for i in range(scale - 1, 0, -1):
+        j = rng.next_below(i + 1)
+        perm[i], perm[j] = perm[j], perm[i]
+    asm.data_label("cubes")
+    for _ in range(scale * _WORDS_PER_CUBE):
+        # Sparse-ish cubes: ~8 set bits per word keeps popcounts short.
+        word = rng.next_u32() & rng.next_u32() & rng.next_u32()
+        asm.word(word)
+    asm.data_label("cube_ptrs")
+    for i in range(scale):
+        asm.word(DATA_BASE + _CUBE_BYTES * perm[i])
+    asm.data_label("covered")
+    asm.word(*([0] * scale))
+    asm.data_label("compacted")
+    asm.word(*([0] * (scale * _WORDS_PER_CUBE)))
+    asm.data_label("survivors")
+    asm.word(0)
+    asm.data_label("lib_pool")
+    asm.word(*[rng.next_u32() & 0xFFFF for _ in range(2048)])
+
+    # ------------------------------------------------------------ main
+    # s0=i  s1=j  s2=&cube_ptrs  s3=n  s4=threshold  s5=&covered  s6=n-1
+    asm.la("s2", "cube_ptrs")
+    asm.la("s5", "covered")
+    asm.li("s3", scale)
+    asm.li("s4", 10)  # containment threshold (literal count)
+    asm.addiu("s6", "s3", -1)
+    asm.li("s0", 0)
+
+    asm.label("outer_i")
+    asm.addiu("s1", "s0", 1)
+
+    asm.label("outer_j")
+    # Skip cubes already covered.
+    asm.sll("t0", "s1", 2)
+    asm.addu("t0", "s5", "t0")
+    asm.lw("t1", 0, "t0")
+    asm.bne("t1", "zero", "skip_pair")
+    # a0 = cover[i], a1 = cover[j] (pointer loads)
+    asm.sll("t2", "s0", 2)
+    asm.addu("t2", "s2", "t2")
+    asm.lw("a0", 0, "t2")
+    asm.sll("t3", "s1", 2)
+    asm.addu("t3", "s2", "t3")
+    asm.lw("a1", 0, "t3")
+    asm.jal("intersect_count")
+    # if (count >= threshold) covered[j] = 1
+    asm.slt("t4", "v0", "s4")
+    asm.bne("t4", "zero", "skip_pair")
+    asm.sll("t5", "s1", 2)
+    asm.addu("t5", "s5", "t5")
+    asm.li("t6", 1)
+    asm.sw("t6", 0, "t5")
+    asm.label("skip_pair")
+    asm.addiu("s1", "s1", 1)
+    asm.bne("s1", "s3", "outer_j")
+    # every 2nd row, run a rotating round of support-library work
+    # (set-up code, allocation, printing analogues) — I-stream churn
+    asm.andi("t0", "s0", 1)
+    asm.bne("t0", "zero", "no_lib")
+    asm.srl("a0", "s0", 1)
+    asm.jal("lib_round")
+    asm.label("no_lib")
+    asm.addiu("s0", "s0", 1)
+    asm.bne("s0", "s6", "outer_i")
+
+    # -------------------------------------------------- compaction pass
+    # Copy surviving cubes to `compacted`, counting them.
+    asm.la("t0", "compacted")  # t0 = output cursor
+    asm.li("s0", 0)  # i
+    asm.li("v1", 0)  # survivor count
+    asm.label("compact_loop")
+    asm.sll("t1", "s0", 2)
+    asm.addu("t1", "s5", "t1")
+    asm.lw("t2", 0, "t1")
+    asm.bne("t2", "zero", "compact_next")
+    # copy 8 words from *cover[i]
+    asm.sll("t3", "s0", 2)
+    asm.addu("t3", "s2", "t3")
+    asm.lw("t3", 0, "t3")
+    for w in range(_WORDS_PER_CUBE):
+        asm.lw("t4", 4 * w, "t3")
+        asm.sw("t4", 4 * w, "t0")
+    asm.addiu("t0", "t0", _CUBE_BYTES)
+    asm.addiu("v1", "v1", 1)
+    asm.label("compact_next")
+    asm.addiu("s0", "s0", 1)
+    asm.bne("s0", "s3", "compact_loop")
+    asm.la("t5", "survivors")
+    asm.sw("v1", 0, "t5")
+    asm.halt()
+
+    # --------------------------------------- intersect_count(a0, a1)->v0
+    # Popcount of the AND of two 8-word cubes (Kernighan inner loop).
+    asm.label("intersect_count")
+    frame = Frame(saved=("s0", "s1"))
+    enter(asm, frame)
+    asm.move("s0", "a0")
+    asm.move("s1", "a1")
+    asm.li("v0", 0)
+    asm.li("t9", _WORDS_PER_CUBE)
+    asm.label("ic_word")
+    asm.lw("t0", 0, "s0")
+    asm.lw("t1", 0, "s1")
+    asm.and_("t0", "t0", "t1")
+    asm.label("ic_pop")
+    asm.beq("t0", "zero", "ic_popdone")
+    asm.addiu("t2", "t0", -1)
+    asm.op("and", "t0", "t0", "t2")
+    asm.addiu("v0", "v0", 1)
+    asm.b("ic_pop")
+    asm.label("ic_popdone")
+    asm.addiu("s0", "s0", 4)
+    asm.addiu("s1", "s1", 4)
+    asm.addiu("t9", "t9", -1)
+    asm.bne("t9", "zero", "ic_word")
+    leave(asm, frame)
+
+    lib = emit_library(asm, rng, "esp", 40, "lib_pool", 2048)
+    rounds = emit_library_rounds(asm, "esp", lib, 4, rng, 2048)
+    emit_round_dispatcher(asm, "lib_round", rounds)
+
+    return build_and_check(asm)

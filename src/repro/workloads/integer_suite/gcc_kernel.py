@@ -1,0 +1,278 @@
+"""gcc analogue: multi-pass translation with a large code footprint.
+
+SPEC's gcc distinguishes itself from the rest of the integer suite by its
+*instruction* footprint: dozens of distinct passes over an intermediate
+representation, each with its own code, give it the worst I-cache
+behaviour of the suite (and hence the most to gain from I-stream
+prefetching).
+
+This kernel mimics that structure end to end:
+
+1. a lexer scans ``scale`` bytes of pseudo-source, classifying characters
+   and hashing identifiers into a symbol table,
+2. a parser pass walks the token stream with a state machine and emits an
+   IR array,
+3. twenty *generated* optimisation passes — each a distinct function with
+   its own constants, operations and peephole window, called in sequence —
+   rewrite the IR.  The pass bodies are deliberately different from one
+   another so the total text footprint (~5 KB) exceeds even the large
+   model's 4 KB I-cache, forcing the round-robin pass structure to miss.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import Lcg, build_and_check
+
+_NUM_PASSES = 28
+
+
+@workload(
+    "gcc",
+    suite="int",
+    default_scale=1100,
+    description="lexer + parser + 20 distinct IR passes (big code footprint)",
+)
+def build(scale: int) -> Program:
+    """``scale`` is the pseudo-source length in bytes."""
+    if scale < 64:
+        raise ValueError("gcc needs at least 64 source bytes")
+    rng = Lcg(seed=0x6CC6CC6C)
+    asm = Assembler()
+
+    # ------------------------------------------------------------ data
+    # Pseudo-source: identifiers, numbers, operators, whitespace.
+    source: list[int] = []
+    while len(source) < scale:
+        kind = rng.next_below(10)
+        if kind < 4:  # identifier of 1-6 letters
+            for _ in range(1 + rng.next_below(6)):
+                source.append(ord("a") + rng.next_below(26))
+        elif kind < 7:  # number of 1-4 digits
+            for _ in range(1 + rng.next_below(4)):
+                source.append(ord("0") + rng.next_below(10))
+        elif kind < 9:  # operator
+            source.append(ord("+-*/=<>&|^"[rng.next_below(10)]))
+        else:  # whitespace
+            source.append(ord(" "))
+    source = source[:scale]
+    source[-1] = 0  # NUL terminator
+
+    asm.data_label("src")
+    asm.byte(*source)
+    asm.align(4)
+    asm.data_label("tokens")
+    asm.word(*([0] * (scale * 2 + 4)))  # (kind, value) pairs
+    asm.data_label("symtab")
+    asm.word(*([0] * 512))
+    asm.data_label("ir")
+    asm.word(*([0] * (scale + 4)))
+    asm.data_label("ntokens")
+    asm.word(0)
+    asm.data_label("nir")
+    asm.word(0)
+    asm.data_label("pass_stats")
+    asm.word(*([0] * (2 * _NUM_PASSES + 32)))
+    asm.data_label("log_area")
+    asm.word(*([0] * 4096))
+    asm.data_label("log_ptr")
+    asm.word(0)
+
+    # ------------------------------------------------------------ main
+    # Lex, parse, then optimise block-at-a-time: every IR block flows
+    # through all passes before the next block (gcc's per-function pass
+    # pipeline).  The inner "loop body" is therefore the whole ~7 KB
+    # pass sequence — far larger than the primary I-caches.
+    asm.jal("lexer")
+    asm.jal("parser")
+    asm.la("s3", "ir")  # block cursor
+    asm.la("t0", "nir")
+    asm.lw("t1", 0, "t0")
+    asm.sra("t1", "t1", 4)  # 16-word blocks
+    asm.addiu("t1", "t1", 1)
+    asm.sll("t1", "t1", 6)  # block count * 64 bytes
+    asm.addu("s4", "s3", "t1")  # end cursor
+    asm.label("opt_blocks")
+    for index in range(_NUM_PASSES):
+        asm.move("a0", "s3")
+        asm.jal(f"pass_{index}")
+    asm.addiu("s3", "s3", 64)
+    asm.slt("t0", "s3", "s4")
+    asm.bne("t0", "zero", "opt_blocks")
+    asm.halt()
+
+    # -------------------------------------------------------------- lexer
+    # s0=src cursor  s1=&tokens cursor  s2=&symtab  v1=token count
+    asm.label("lexer")
+    asm.la("s0", "src")
+    asm.la("s1", "tokens")
+    asm.la("s2", "symtab")
+    asm.li("v1", 0)
+    asm.label("lex_loop")
+    asm.lbu("t0", 0, "s0")
+    asm.beq("t0", "zero", "lex_done")
+    # classify: letter?
+    asm.addiu("t1", "t0", -ord("a"))
+    asm.sltiu("t2", "t1", 26)
+    asm.bne("t2", "zero", "lex_ident")
+    # digit?
+    asm.addiu("t1", "t0", -ord("0"))
+    asm.sltiu("t2", "t1", 10)
+    asm.bne("t2", "zero", "lex_number")
+    # whitespace?
+    asm.li("t1", ord(" "))
+    asm.beq("t0", "t1", "lex_skip")
+    # operator: token kind 3, value = char
+    asm.li("t3", 3)
+    asm.sw("t3", 0, "s1")
+    asm.sw("t0", 4, "s1")
+    asm.addiu("s1", "s1", 8)
+    asm.addiu("v1", "v1", 1)
+    asm.addiu("s0", "s0", 1)
+    asm.b("lex_loop")
+
+    asm.label("lex_ident")
+    # consume letters, compute rolling hash, bump symtab bucket
+    asm.li("t4", 0)  # hash
+    asm.label("lex_id_more")
+    asm.sll("t5", "t4", 3)
+    asm.xor("t4", "t5", "t0")
+    asm.addiu("s0", "s0", 1)
+    asm.lbu("t0", 0, "s0")
+    asm.addiu("t1", "t0", -ord("a"))
+    asm.sltiu("t2", "t1", 26)
+    asm.bne("t2", "zero", "lex_id_more")
+    asm.andi("t4", "t4", 511)
+    asm.sll("t5", "t4", 2)
+    asm.addu("t5", "s2", "t5")
+    asm.lw("t6", 0, "t5")  # symtab[h]++
+    asm.addiu("t6", "t6", 1)
+    asm.sw("t6", 0, "t5")
+    asm.li("t3", 1)  # kind 1 = identifier
+    asm.sw("t3", 0, "s1")
+    asm.sw("t4", 4, "s1")
+    asm.addiu("s1", "s1", 8)
+    asm.addiu("v1", "v1", 1)
+    asm.b("lex_loop")
+
+    asm.label("lex_number")
+    asm.li("t4", 0)  # value
+    asm.label("lex_num_more")
+    asm.sll("t5", "t4", 3)
+    asm.sll("t6", "t4", 1)
+    asm.addu("t4", "t5", "t6")  # value * 10
+    asm.addiu("t6", "t0", -ord("0"))
+    asm.addu("t4", "t4", "t6")
+    asm.addiu("s0", "s0", 1)
+    asm.lbu("t0", 0, "s0")
+    asm.addiu("t1", "t0", -ord("0"))
+    asm.sltiu("t2", "t1", 10)
+    asm.bne("t2", "zero", "lex_num_more")
+    asm.li("t3", 2)  # kind 2 = number
+    asm.sw("t3", 0, "s1")
+    asm.sw("t4", 4, "s1")
+    asm.addiu("s1", "s1", 8)
+    asm.addiu("v1", "v1", 1)
+    asm.b("lex_loop")
+
+    asm.label("lex_skip")
+    asm.addiu("s0", "s0", 1)
+    asm.b("lex_loop")
+
+    asm.label("lex_done")
+    asm.la("t0", "ntokens")
+    asm.sw("v1", 0, "t0")
+    asm.jr("ra")
+
+    # ------------------------------------------------------------- parser
+    # State machine over tokens; emits one IR word per token combining
+    # state, kind and value.  s0=token cursor  s1=count  s2=&ir  t7=state
+    asm.label("parser")
+    asm.la("s0", "tokens")
+    asm.la("t0", "ntokens")
+    asm.lw("s1", 0, "t0")
+    asm.la("s2", "ir")
+    asm.li("t7", 0)  # state
+    asm.li("v1", 0)  # IR count
+    asm.beq("s1", "zero", "parse_done")
+    asm.label("parse_loop")
+    asm.lw("t0", 0, "s0")  # kind
+    asm.lw("t1", 4, "s0")  # value
+    # state transition: state = (state * 2 + kind) & 7
+    asm.sll("t7", "t7", 1)
+    asm.addu("t7", "t7", "t0")
+    asm.andi("t7", "t7", 7)
+    # IR word = (state << 28) | (kind << 24) | (value & 0xffffff)
+    asm.sll("t2", "t7", 28)
+    asm.sll("t3", "t0", 24)
+    asm.or_("t2", "t2", "t3")
+    asm.sll("t4", "t1", 8)
+    asm.srl("t4", "t4", 8)
+    asm.or_("t2", "t2", "t4")
+    asm.sw("t2", 0, "s2")
+    asm.addiu("s2", "s2", 4)
+    asm.addiu("v1", "v1", 1)
+    asm.addiu("s0", "s0", 8)
+    asm.addiu("s1", "s1", -1)
+    asm.bne("s1", "zero", "parse_loop")
+    asm.label("parse_done")
+    asm.la("t0", "nir")
+    asm.sw("v1", 0, "t0")
+    asm.jr("ra")
+
+    # ------------------------------------------------- generated IR passes
+    # Each pass walks the IR in unrolled four-word blocks with its own
+    # distinct transformation per lane, so a pass body is ~60 unique
+    # straight-line instructions — the low code-line residency that gives
+    # real gcc the worst I-cache behaviour of the suite.
+    ops = ("xor", "or", "and", "addu", "subu")
+    for index in range(_NUM_PASSES):
+        constant = rng.next_u32() & 0x7FFF
+        shift = 1 + (index % 7)
+        op1 = ops[index % len(ops)]
+        op2 = ops[(index + 2) % len(ops)]
+        asm.label(f"pass_{index}")
+        asm.move("t0", "a0")  # block pointer
+        asm.li("t1", 4)  # 4 unrolled lanes x 4 iterations = 16 words
+        asm.li("t8", constant)
+        asm.label(f"pass_{index}_loop")
+        for lane in range(4):
+            lane_op = ops[(index + lane) % len(ops)]
+            asm.lw("t2", 4 * lane, "t0")
+            asm.srl("t3", "t2", (index + lane) % 8)
+            asm.andi("t3", "t3", 1)
+            asm.beq("t3", "zero", f"pass_{index}_else{lane}")
+            asm.op(op1, "t2", "t2", "t8")
+            asm.sll("t4", "t2", shift)
+            asm.xor("t2", "t2", "t4")
+            asm.b(f"pass_{index}_store{lane}")
+            asm.label(f"pass_{index}_else{lane}")
+            asm.op(op2, "t2", "t2", "t8")
+            asm.srl("t4", "t2", shift)
+            asm.op(lane_op, "t2", "t2", "t4")
+            asm.label(f"pass_{index}_store{lane}")
+            asm.addiu("t5", "t2", index + lane + 1)
+            asm.xor("t2", "t2", "t5")
+            asm.sw("t2", 4 * lane, "t0")
+        asm.addiu("t0", "t0", 16)
+        asm.addiu("t1", "t1", -1)
+        asm.bne("t1", "zero", f"pass_{index}_loop")
+        # per-pass bookkeeping: scattered stat update + log append,
+        # displacing write-cache lines between passes as real passes do
+        asm.la("t6", "pass_stats")
+        asm.lw("t7", 4 * (2 * index), "t6")
+        asm.addu("t7", "t7", "t2")
+        asm.sw("t7", 4 * (2 * index), "t6")
+        asm.la("t6", "log_ptr")
+        asm.lw("t7", 0, "t6")
+        asm.la("t5", "log_area")
+        asm.addu("t5", "t5", "t7")
+        asm.sw("t2", 0, "t5")
+        asm.addiu("t7", "t7", 4)
+        asm.andi("t7", "t7", 16383)
+        asm.sw("t7", 0, "t6")
+        asm.jr("ra")
+
+    return build_and_check(asm)

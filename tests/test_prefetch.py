@@ -1,0 +1,123 @@
+"""Unit tests for the stream-buffer prefetch pool."""
+
+import pytest
+
+from repro.core.biu import BusInterfaceUnit
+from repro.core.prefetch import SplitStreamBufferPool, StreamBufferPool
+
+
+def make_pool(buffers=2, depth=2, latency=17, enabled=True, split=False):
+    biu = BusInterfaceUnit(latency=latency, occupancy=4)
+    cls = SplitStreamBufferPool if split else StreamBufferPool
+    return cls(buffers, depth, biu, enabled=enabled), biu
+
+
+class TestStreamBufferPool:
+    def test_validation(self):
+        biu = BusInterfaceUnit(latency=17)
+        with pytest.raises(ValueError):
+            StreamBufferPool(0, 2, biu)
+        with pytest.raises(ValueError):
+            StreamBufferPool(2, 0, biu)
+
+    def test_miss_then_sequential_hit(self):
+        pool, _ = make_pool()
+        assert pool.lookup(100, 0, "D") is None  # cold
+        pool.allocate(100, 0)  # starts prefetching line 101
+        arrival = pool.lookup(101, 5, "D")
+        assert arrival is not None and arrival >= 5 or arrival <= 17 + 4
+        assert pool.stats.d_hits == 1
+        assert pool.stats.d_lookups == 2
+
+    def test_ramping_after_hit(self):
+        pool, biu = make_pool(depth=3)
+        pool.allocate(100, 0)
+        fetched_before = pool.stats.lines_fetched
+        pool.lookup(101, 20, "D")  # hit -> ramp to depth
+        assert pool.stats.lines_fetched > fetched_before
+        # lines 102 and 103 should now be pending
+        assert pool.lookup(102, 60, "D") is not None
+        assert pool.lookup(103, 90, "D") is not None
+
+    def test_non_sequential_does_not_hit(self):
+        pool, _ = make_pool()
+        pool.allocate(100, 0)
+        assert pool.lookup(105, 10, "D") is None  # skipped ahead
+
+    def test_lru_replacement_thrash(self):
+        """Two buffers, three interleaved streams: the paper's small-model
+        thrash — the oldest stream keeps getting evicted."""
+        pool, _ = make_pool(buffers=2)
+        pool.allocate(100, 0)
+        pool.allocate(200, 1)
+        pool.allocate(300, 2)  # evicts the stream at 100
+        assert pool.lookup(101, 10, "I") is None
+        assert pool.lookup(201, 12, "D") is not None
+
+    def test_disabled_pool_never_hits(self):
+        pool, biu = make_pool(enabled=False)
+        pool.allocate(100, 0)
+        assert pool.lookup(101, 10, "D") is None
+        assert biu.stats.prefetch == 0
+        assert pool.stats.d_lookups == 0
+
+    def test_stats_split_by_stream(self):
+        pool, _ = make_pool(buffers=4)
+        pool.allocate(100, 0)
+        pool.allocate(500, 0)
+        pool.lookup(101, 10, "I")
+        pool.lookup(501, 10, "D")
+        assert pool.stats.i_hits == 1
+        assert pool.stats.d_hits == 1
+        assert pool.stats.hit_rate("I") == 1.0
+        with pytest.raises(ValueError):
+            pool.stats.hit_rate("X")
+
+    def test_drop_line(self):
+        pool, _ = make_pool()
+        pool.allocate(100, 0)
+        pool.drop_line(101)
+        assert pool.lookup(101, 10, "D") is None
+
+    def test_consuming_hit_removes_line(self):
+        pool, _ = make_pool(depth=1)
+        pool.allocate(100, 0)
+        assert pool.lookup(101, 30, "D") is not None
+        # after consumption the buffer prefetched 102, not 101 again
+        assert pool.lookup(101, 40, "D") is None
+
+    def test_prefetch_uses_bus_bandwidth(self):
+        pool, biu = make_pool()
+        pool.allocate(100, 0)
+        assert biu.stats.prefetch == 1
+
+
+class TestSplitPool:
+    def test_needs_two_buffers(self):
+        biu = BusInterfaceUnit(latency=17)
+        with pytest.raises(ValueError):
+            SplitStreamBufferPool(1, 2, biu)
+
+    def test_streams_do_not_thrash_each_other(self):
+        pool, _ = make_pool(buffers=2, split=True)
+        pool.allocate(100, 0, stream="I")
+        pool.allocate(200, 1, stream="D")
+        pool.allocate(300, 2, stream="D")  # evicts D stream only
+        assert pool.lookup(101, 10, "I") is not None
+
+    def test_merged_stats(self):
+        pool, _ = make_pool(buffers=4, split=True)
+        pool.allocate(100, 0, stream="I")
+        pool.lookup(101, 5, "I")
+        pool.allocate(900, 0, stream="D")
+        pool.lookup(901, 5, "D")
+        stats = pool.stats
+        assert stats.i_hits == 1
+        assert stats.d_hits == 1
+        assert stats.lines_fetched >= 2
+
+    def test_drop_line_covers_both(self):
+        pool, _ = make_pool(buffers=2, split=True)
+        pool.allocate(100, 0, stream="I")
+        pool.drop_line(101)
+        assert pool.lookup(101, 10, "I") is None

@@ -1,0 +1,249 @@
+"""Integration tests for the Aurora III timing model.
+
+Synthetic traces with known properties pin down issue, stall and memory
+behaviour; the workload fixtures exercise the full machine.
+"""
+
+import pytest
+
+from repro.core.config import BASELINE, LARGE, SMALL, MachineConfig
+from repro.core.processor import simulate_trace
+from repro.core.stats import StallKind
+from repro.func.trace import NO_REG
+from repro.isa.instructions import Kind
+from repro.isa.program import TEXT_BASE
+
+ALU = int(Kind.ALU)
+LOAD = int(Kind.LOAD)
+STORE = int(Kind.STORE)
+BRANCH = int(Kind.BRANCH)
+JUMP = int(Kind.JUMP)
+NOP = int(Kind.NOP)
+
+
+def alu(pc, dst=NO_REG, s1=NO_REG, s2=NO_REG):
+    return (TEXT_BASE + 4 * pc, ALU, dst, s1, s2, 0)
+
+
+def load(pc, dst, base_reg, addr):
+    return (TEXT_BASE + 4 * pc, LOAD, dst, base_reg, NO_REG, addr)
+
+
+def store(pc, s_data, addr):
+    return (TEXT_BASE + 4 * pc, STORE, NO_REG, NO_REG, s_data, addr)
+
+
+def independent_alu_trace(count, wrap=128):
+    """ALU ops with no dependencies; pcs loop over a small code footprint."""
+    return [alu(i % wrap, dst=(i % 8) + 8) for i in range(count)]
+
+
+def dependent_alu_trace(count, wrap=128):
+    """Every op reads the previous op's destination."""
+    records = []
+    for i in range(count):
+        dst = (i % 2) + 8
+        src = ((i + 1) % 2) + 8
+        records.append(alu(i % wrap, dst=dst, s1=src))
+    return records
+
+
+class TestIssueBandwidth:
+    def test_dual_issue_halves_alu_cpi(self):
+        trace = independent_alu_trace(10000)
+        dual = simulate_trace(trace, BASELINE.dual_issue()).stats
+        single = simulate_trace(trace, BASELINE.single_issue()).stats
+        assert dual.cpi == pytest.approx(0.5, abs=0.1)
+        assert single.cpi == pytest.approx(1.0, abs=0.1)
+
+    def test_dependent_chain_cannot_pair(self):
+        trace = dependent_alu_trace(2000)
+        dual = simulate_trace(trace, BASELINE.dual_issue()).stats
+        assert dual.cpi == pytest.approx(1.0, abs=0.1)
+        assert dual.dual_issued_pairs < 20
+
+    def test_pairing_requires_alignment(self):
+        # all instructions at odd word slots cannot be the even half
+        trace = [alu(2 * i + 1, dst=8) for i in range(1000)]
+        dual = simulate_trace(trace, BASELINE.dual_issue()).stats
+        assert dual.cpi >= 0.95
+
+    def test_two_memory_ops_never_pair(self):
+        trace = []
+        for i in range(0, 1000, 2):
+            trace.append(load(i, 8, NO_REG, 0x1000))
+            trace.append(load(i + 1, 9, NO_REG, 0x1000))
+        stats = simulate_trace(trace, LARGE.dual_issue()).stats
+        # one memory port: at most one per cycle
+        assert stats.cpi >= 0.95
+
+
+class TestLoadBehaviour:
+    def test_load_use_stall_matches_dcache_latency(self):
+        # load; dependent ALU; repeat (always hitting after warmup)
+        trace = []
+        pc = 0
+        for _ in range(500):
+            trace.append(load(pc, 8, NO_REG, 0x1000))
+            trace.append(alu(pc + 1, dst=9, s1=8))
+            pc += 2
+        stats = simulate_trace(trace, LARGE.dual_issue()).stats
+        # each load-use pair costs ~(1 + dcache_latency + 1) cycles:
+        # address generation, the pipelined 3-cycle array, use
+        assert stats.cpi == pytest.approx(2.5, abs=0.4)
+        assert stats.stall_cycles[StallKind.LOAD] > 0
+
+    def test_independent_work_hides_load_latency(self):
+        trace = []
+        pc = 0
+        for _ in range(400):
+            trace.append(load(pc, 8, NO_REG, 0x1000))
+            for k in range(6):
+                trace.append(alu(pc + 1 + k, dst=10 + k))
+            trace.append(alu(pc + 7, dst=9, s1=8))
+            pc += 8
+        stats = simulate_trace(trace, LARGE.dual_issue()).stats
+        assert stats.cpi < 1.0  # latency overlapped with the filler ops
+
+    def test_miss_costs_memory_latency(self):
+        # march through memory: every 8th load misses a 32-byte line
+        trace = [
+            load(i, 8, NO_REG, 0x10000 + 4 * i) for i in range(2000)
+        ]
+        fast = simulate_trace(trace, LARGE.with_latency(17).without_prefetch()).stats
+        slow = simulate_trace(trace, LARGE.with_latency(35).without_prefetch()).stats
+        assert slow.cycles > fast.cycles
+        assert fast.dcache_hit_rate == pytest.approx(7 / 8, abs=0.02)
+
+    def test_prefetch_hides_sequential_misses(self):
+        trace = [
+            load(i, 8, NO_REG, 0x10000 + 4 * i) for i in range(2000)
+        ]
+        with_pf = simulate_trace(trace, LARGE).stats
+        without = simulate_trace(trace, LARGE.without_prefetch()).stats
+        assert with_pf.cycles < without.cycles
+        assert with_pf.dprefetch_hits > 0
+
+
+class TestMshrEffects:
+    def test_single_mshr_serialises_even_hits(self):
+        trace = [load(i, (i % 8) + 8, NO_REG, 0x1000) for i in range(1000)]
+        one = simulate_trace(trace, LARGE.with_mshrs(1)).stats
+        four = simulate_trace(trace, LARGE.with_mshrs(4)).stats
+        assert one.cycles > 1.5 * four.cycles
+        assert one.stall_cycles[StallKind.LSU] > 0
+
+    def test_miss_overlap_with_multiple_mshrs(self):
+        # strided loads: every access a different line (all miss)
+        trace = [load(i, 8, NO_REG, 0x10000 + 64 * i) for i in range(500)]
+        config = LARGE.without_prefetch()
+        one = simulate_trace(trace, config.with_mshrs(1)).stats
+        four = simulate_trace(trace, config.with_mshrs(4)).stats
+        assert four.cycles < one.cycles
+
+
+class TestStoresAndWriteCache:
+    def test_sequential_stores_coalesce(self):
+        trace = [store(i, 9, 0x10000 + 4 * i) for i in range(800)]
+        stats = simulate_trace(trace, BASELINE).stats
+        # 8 words per line -> at most ~1/8 of stores go off chip
+        assert stats.store_traffic_ratio < 0.25
+        assert stats.writecache_hit_rate > 0.8
+
+    def test_scattered_stores_thrash_small_write_cache(self):
+        trace = [store(i, 9, 0x10000 + 256 * i) for i in range(800)]
+        small_wc = simulate_trace(trace, SMALL).stats
+        assert small_wc.store_traffic_ratio > 0.9
+
+    def test_store_counts(self):
+        trace = [store(i, 9, 0x1000) for i in range(100)]
+        stats = simulate_trace(trace, BASELINE).stats
+        assert stats.stores == 100
+        assert stats.store_instructions == 100
+
+
+class TestFetchSide:
+    def test_code_fitting_in_icache_hits(self, counting_trace):
+        stats = simulate_trace(counting_trace, BASELINE).stats
+        assert stats.icache_hit_rate > 0.99
+
+    def test_large_code_footprint_misses(self):
+        # 8 KB straight-line code re-run twice > any model's I-cache
+        big = [alu(i, dst=8) for i in range(2048)] * 2
+        small_stats = simulate_trace(big, SMALL).stats
+        large_stats = simulate_trace(big, LARGE).stats
+        assert small_stats.icache_hit_rate < 1.0
+        assert small_stats.stall_cycles[StallKind.ICACHE] > 0
+        assert large_stats.cycles <= small_stats.cycles
+
+    def test_branch_folding_removes_taken_penalty(self):
+        # tight taken-branch loop (branch, delay slot) x many
+        trace = []
+        for i in range(600):
+            target = TEXT_BASE
+            trace.append((TEXT_BASE, BRANCH, NO_REG, 8, NO_REG, target))
+            trace.append((TEXT_BASE + 4, NOP, NO_REG, NO_REG, NO_REG, 0))
+        folded = simulate_trace(trace, BASELINE.single_issue()).stats
+        unfolded = simulate_trace(
+            trace, BASELINE.single_issue().with_(branch_folding=False)
+        ).stats
+        assert unfolded.cycles > folded.cycles
+
+    def test_register_jumps_always_pay_redirect(self):
+        trace = []
+        for i in range(0, 900, 3):
+            # jr (register jump), delay slot, landing pad
+            trace.append((TEXT_BASE + 4 * i, JUMP, NO_REG, 31, NO_REG,
+                          TEXT_BASE + 4 * (i + 2)))
+            trace.append(alu(i + 1))
+            trace.append(alu(i + 2))
+        stats = simulate_trace(trace, BASELINE.single_issue()).stats
+        assert stats.cpi > 1.0  # the redirect bubble is visible
+
+
+class TestStatsIntegrity:
+    @pytest.mark.parametrize("model_name", ["small", "baseline", "large"])
+    def test_invariants_on_real_workload(
+        self, model_name, espresso_trace_small, models
+    ):
+        model = {m.name: m for m in models}[model_name]
+        stats = simulate_trace(espresso_trace_small, model).stats
+        stats.check_invariants()
+        assert stats.instructions == len(espresso_trace_small)
+        assert stats.cycles >= stats.instructions / 2  # issue width bound
+
+    def test_fp_workload_invariants(self, fp_trace_small, models):
+        for model in models:
+            stats = simulate_trace(fp_trace_small, model).stats
+            stats.check_invariants()
+            assert stats.fp_instructions > 0
+
+    def test_monotone_in_memory_latency(self, espresso_trace_small):
+        cycles = [
+            simulate_trace(espresso_trace_small, BASELINE.with_latency(lat)).stats.cycles
+            for lat in (5, 17, 35, 70)
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_model_ordering_on_real_workload(self, espresso_trace_small, models):
+        small, baseline, large = models
+        cpis = [
+            simulate_trace(espresso_trace_small, m.dual_issue()).stats.cpi
+            for m in (small, baseline, large)
+        ]
+        assert cpis[0] >= cpis[1] >= cpis[2]
+
+    def test_summary_renders(self, counting_trace):
+        stats = simulate_trace(counting_trace, BASELINE).stats
+        text = stats.summary()
+        assert "CPI" in text and "instructions" in text
+
+    def test_empty_trace(self):
+        stats = simulate_trace([], BASELINE).stats
+        assert stats.instructions == 0
+        assert stats.cpi == 0.0
+
+    def test_result_carries_config(self, counting_trace):
+        result = simulate_trace(counting_trace, SMALL)
+        assert result.config is SMALL
+        assert result.cpi == result.stats.cpi

@@ -1,0 +1,99 @@
+"""Unit tests for register-name resolution."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterError,
+    fp_double_reg,
+    fp_reg,
+    fp_reg_name,
+    int_reg,
+    int_reg_name,
+)
+
+
+class TestIntRegisters:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("zero", 0),
+            ("$zero", 0),
+            ("at", 1),
+            ("v0", 2),
+            ("v1", 3),
+            ("a0", 4),
+            ("a3", 7),
+            ("t0", 8),
+            ("t7", 15),
+            ("s0", 16),
+            ("s7", 23),
+            ("t8", 24),
+            ("t9", 25),
+            ("k0", 26),
+            ("gp", 28),
+            ("sp", 29),
+            ("fp", 30),
+            ("ra", 31),
+            ("r8", 8),
+            ("$8", 8),
+            ("$31", 31),
+        ],
+    )
+    def test_names_resolve(self, spec, expected):
+        assert int_reg(spec) == expected
+
+    @pytest.mark.parametrize("number", [0, 1, 15, 31])
+    def test_ints_pass_through(self, number):
+        assert int_reg(number) == number
+
+    def test_case_insensitive(self):
+        assert int_reg("T0") == 8
+        assert int_reg("  sp ") == 29
+
+    @pytest.mark.parametrize("bad", ["t99", "x0", "", "f0", "$f1"])
+    def test_unknown_names_raise(self, bad):
+        with pytest.raises(RegisterError):
+            int_reg(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 32, 100])
+    def test_out_of_range_numbers_raise(self, bad):
+        with pytest.raises(RegisterError):
+            int_reg(bad)
+
+    def test_round_trip_names(self):
+        for number in range(NUM_INT_REGS):
+            assert int_reg(int_reg_name(number)) == number
+
+    def test_name_out_of_range(self):
+        with pytest.raises(RegisterError):
+            int_reg_name(32)
+
+
+class TestFpRegisters:
+    @pytest.mark.parametrize(
+        "spec,expected", [("f0", 0), ("$f0", 0), ("f31", 31), ("F4", 4)]
+    )
+    def test_names_resolve(self, spec, expected):
+        assert fp_reg(spec) == expected
+
+    def test_round_trip(self):
+        for number in range(NUM_FP_REGS):
+            assert fp_reg(fp_reg_name(number)) == number
+
+    @pytest.mark.parametrize("bad", ["f32", "t0", "", "$32"])
+    def test_unknown_raise(self, bad):
+        with pytest.raises(RegisterError):
+            fp_reg(bad)
+
+    def test_double_requires_even(self):
+        assert fp_double_reg("f4") == 4
+        with pytest.raises(RegisterError):
+            fp_double_reg("f5")
+
+    def test_out_of_range_numbers(self):
+        with pytest.raises(RegisterError):
+            fp_reg(32)
+        with pytest.raises(RegisterError):
+            fp_reg_name(-1)

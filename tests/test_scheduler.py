@@ -1,0 +1,137 @@
+"""Tests for the load-use scheduler (the paper's "better compiler
+scheduling" future-work pass)."""
+
+import pytest
+
+from repro.core.config import LARGE
+from repro.core.processor import simulate_trace
+from repro.func.machine import run_program
+from repro.isa.assembler import Assembler
+from repro.isa.scheduler import schedule_load_use
+from repro.workloads.registry import INTEGER_SUITE, build_program
+
+KERNEL_SCALES = {
+    "espresso": 14, "li": 150, "eqntott": 64, "compress": 1100,
+    "sc": 8, "gcc": 240,
+}
+
+
+def build_load_use_block():
+    """A block with an obvious load-use gap and a hoistable filler."""
+    asm = Assembler()
+    asm.data_label("arr")
+    asm.word(*range(16))
+    asm.la("a0", "arr")
+    asm.li("t5", 0)
+    asm.lw("t0", 0, "a0")  # load
+    asm.addu("t1", "t0", "t0")  # immediate use
+    asm.addiu("t5", "t5", 7)  # independent: should be hoisted
+    asm.addu("v0", "t1", "t5")
+    asm.halt()
+    return asm.assemble()
+
+
+class TestBasicScheduling:
+    def test_hoists_independent_instruction(self):
+        program = build_load_use_block()
+        scheduled, moves = schedule_load_use(program)
+        assert moves == 1
+        ops = [i.op for i in scheduled.text]
+        # the addiu now sits between the load and its use
+        lw_at = ops.index("lw")
+        assert scheduled.text[lw_at + 1].op == "addiu"
+        assert scheduled.text[lw_at + 2].op == "addu"
+
+    def test_architecture_preserved(self):
+        program = build_load_use_block()
+        scheduled, _ = schedule_load_use(program)
+        before = run_program(program)
+        after = run_program(scheduled)
+        assert before.registers == after.registers
+
+    def test_dependent_filler_not_hoisted(self):
+        asm = Assembler()
+        asm.data_label("arr")
+        asm.word(1, 2)
+        asm.la("a0", "arr")
+        asm.lw("t0", 0, "a0")
+        asm.addu("t1", "t0", "t0")  # use
+        asm.addu("t2", "t1", "t1")  # depends on the use: cannot move
+        asm.halt()
+        program = asm.assemble()
+        _, moves = schedule_load_use(program)
+        assert moves == 0
+
+    def test_memory_ops_do_not_reorder(self):
+        asm = Assembler()
+        asm.data_label("arr")
+        asm.word(1, 2, 3, 4)
+        asm.la("a0", "arr")
+        asm.lw("t0", 0, "a0")
+        asm.addu("t1", "t0", "t0")  # use
+        asm.lw("t2", 0, "t1")  # depends on the use: cannot hoist
+        asm.sw("t9", 8, "a0")  # hoisting would cross the lw above: mem-mem
+        asm.halt()
+        program = asm.assemble()
+        _, moves = schedule_load_use(program)
+        assert moves == 0
+
+    def test_store_may_cross_alu_only(self):
+        asm = Assembler()
+        asm.data_label("arr")
+        asm.word(1, 2, 3, 4)
+        asm.la("a0", "arr")
+        asm.lw("t0", 0, "a0")
+        asm.addu("t1", "t0", "t0")  # use
+        asm.sw("t9", 8, "a0")  # crosses only the addu: load->store order kept
+        asm.halt()
+        program = asm.assemble()
+        scheduled, moves = schedule_load_use(program)
+        assert moves == 1
+        ops = [i.op for i in scheduled.text]
+        assert ops.index("sw") > ops.index("lw")  # memory order preserved
+
+    def test_control_flow_untouched(self):
+        asm = Assembler()
+        asm.data_label("arr")
+        asm.word(5)
+        asm.la("a0", "arr")
+        asm.label("top")
+        asm.lw("t0", 0, "a0")
+        asm.addiu("t0", "t0", -1)
+        asm.sw("t0", 0, "a0")
+        asm.bne("t0", "zero", "top")
+        asm.halt()
+        program = asm.assemble()
+        scheduled, _ = schedule_load_use(program)
+        result = run_program(scheduled)
+        assert result.halted
+
+    def test_empty_program(self):
+        scheduled, moves = schedule_load_use(Assembler().assemble())
+        assert moves == 0
+        assert scheduled.num_instructions == 0
+
+
+@pytest.mark.parametrize("name", INTEGER_SUITE)
+class TestKernelPreservation:
+    def test_kernels_unchanged_architecturally(self, name):
+        program = build_program(name, KERNEL_SCALES[name])
+        scheduled, moves = schedule_load_use(program)
+        before = run_program(program, max_instructions=20_000_000)
+        after = run_program(scheduled, max_instructions=20_000_000)
+        assert before.registers == after.registers
+        assert before.instructions == after.instructions
+
+    def test_scheduling_never_hurts_timing(self, name):
+        program = build_program(name, KERNEL_SCALES[name])
+        scheduled, _ = schedule_load_use(program)
+        before = simulate_trace(
+            run_program(program, max_instructions=20_000_000).trace,
+            LARGE.dual_issue(),
+        ).stats
+        after = simulate_trace(
+            run_program(scheduled, max_instructions=20_000_000).trace,
+            LARGE.dual_issue(),
+        ).stats
+        assert after.cycles <= before.cycles * 1.01

@@ -1,0 +1,139 @@
+"""Workload-kernel tests: every SPEC92 analogue builds, runs, halts, and
+exhibits the characteristics its benchmark is meant to model."""
+
+import pytest
+
+from repro.func.machine import run_program
+from repro.func.trace import compute_stats
+from repro.isa.instructions import Kind
+from repro.workloads.registry import (
+    FP_SUITE,
+    INTEGER_SUITE,
+    WorkloadError,
+    all_specs,
+    build_program,
+    get_spec,
+    get_trace,
+)
+
+# Small scales for fast unit testing.
+SMALL_SCALES = {
+    "espresso": 12,
+    "li": 120,
+    "eqntott": 48,
+    "compress": 1100,
+    "sc": 8,
+    "gcc": 220,
+    "alvinn": 32,
+    "doduc": 400,
+    "ear": 24,
+    "hydro2d": 10,
+    "mdljdp2": 10,
+    "nasa7": 6,
+    "ora": 64,
+    "spice2g6": 32,
+    "su2cor": 48,
+}
+
+
+class TestRegistry:
+    def test_all_fifteen_registered(self):
+        names = {spec.name for spec in all_specs()}
+        assert set(INTEGER_SUITE) <= names
+        assert set(FP_SUITE) <= names
+        assert len(names) == 15
+
+    def test_suites_disjoint(self):
+        assert not set(INTEGER_SUITE) & set(FP_SUITE)
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_spec("doom")
+
+    def test_specs_have_descriptions(self):
+        for spec in all_specs():
+            assert spec.description
+            assert spec.default_scale > 0
+            assert spec.suite in ("int", "fp")
+
+    def test_trace_memoisation(self):
+        first = get_trace("sc", 8)
+        second = get_trace("sc", 8)
+        assert first is second
+
+
+@pytest.mark.parametrize("name", INTEGER_SUITE + FP_SUITE)
+class TestEveryKernel:
+    def test_builds_and_halts(self, name):
+        program = build_program(name, SMALL_SCALES[name])
+        result = run_program(program, max_instructions=10_000_000)
+        assert result.halted
+        assert result.instructions > 500
+
+    def test_deterministic(self, name):
+        p1 = build_program(name, SMALL_SCALES[name])
+        p2 = build_program(name, SMALL_SCALES[name])
+        t1 = run_program(p1).trace
+        t2 = run_program(p2).trace
+        assert t1 == t2
+
+    def test_has_memory_traffic(self, name):
+        trace = get_trace(name, SMALL_SCALES[name])
+        stats = compute_stats(trace)
+        assert stats.loads > 0
+        assert stats.stores > 0
+        assert stats.taken_branches > 0
+
+
+@pytest.mark.parametrize("name", FP_SUITE)
+def test_fp_kernels_have_fp_work(name):
+    trace = get_trace(name, SMALL_SCALES[name])
+    stats = compute_stats(trace)
+    assert stats.fp_ops / stats.total > 0.15
+
+
+@pytest.mark.parametrize("name", INTEGER_SUITE)
+def test_integer_kernels_have_no_fp(name):
+    trace = get_trace(name, SMALL_SCALES[name])
+    stats = compute_stats(trace)
+    assert stats.fp_ops == 0
+
+
+class TestCharacteristics:
+    def test_integer_code_footprints_exceed_icaches(self):
+        """Every integer kernel's dynamic code footprint must exceed the
+        largest model's 4 KB I-cache, or Tables 3/4 would be vacuous."""
+        for name in INTEGER_SUITE:
+            stats = compute_stats(get_trace(name, SMALL_SCALES[name]))
+            assert stats.code_footprint_bytes > 4 * 1024, name
+
+    def test_compress_is_data_heavy(self):
+        stats = compute_stats(get_trace("compress", 2000))
+        assert stats.data_footprint_bytes > 16 * 1024
+
+    def test_ora_is_divide_heavy(self):
+        stats = compute_stats(get_trace("ora", SMALL_SCALES["ora"]))
+        div_fraction = stats.by_kind.get(Kind.FP_DIV, 0) / stats.total
+        assert div_fraction > 0.05
+
+    def test_nasa7_is_multiply_heavy(self):
+        stats = compute_stats(get_trace("nasa7", SMALL_SCALES["nasa7"]))
+        assert stats.by_kind.get(Kind.FP_MUL, 0) > 0
+
+    def test_li_is_pointer_chasing(self):
+        stats = compute_stats(get_trace("li", SMALL_SCALES["li"]))
+        load_fraction = stats.loads / stats.total
+        assert load_fraction > 0.12
+
+    def test_scale_grows_trace(self):
+        small = len(get_trace("compress", 300))
+        large = len(get_trace("compress", 900))
+        assert large > 1.5 * small
+
+    def test_espresso_validates_scale(self):
+        with pytest.raises(ValueError):
+            build_program("espresso", 1)
+
+    def test_nasa7_requires_even_scale(self):
+        with pytest.raises(ValueError):
+            build_program("nasa7", 7)
