@@ -43,6 +43,12 @@ from repro.cost.rbe import (  # noqa: F401
     machine_cost,
 )
 from repro.func.machine import MachineResult, run_program  # noqa: F401
+from repro.robustness.guards import (  # noqa: F401
+    RobustnessPolicy,
+    SimulationError,
+    config_fingerprint,
+)
+from repro.robustness.validation import TraceValidationError  # noqa: F401
 from repro.func.trace import TraceRecord  # noqa: F401
 from repro.isa.assembler import Assembler, parse_asm  # noqa: F401
 from repro.isa.disassembler import disassemble  # noqa: F401
@@ -65,8 +71,14 @@ def simulate_workload(
 
     ``scale`` overrides the workload's default size (traces are memoised
     per ``(name, scale)``, so sweeping configurations over one workload
-    re-runs only the timing model).
+    re-runs only the timing model).  The configuration and scale are
+    validated eagerly: impossible machine points and non-positive scales
+    fail here with a precise error rather than producing garbage numbers.
     """
+    from repro.robustness.validation import validate_scale
+
+    validate_scale(scale)
+    config.validate()
     trace = get_trace(name, scale)
     return simulate_trace(trace, config)
 

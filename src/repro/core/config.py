@@ -55,14 +55,60 @@ class FPUConfig:
     cvt_pipelined: bool = True
     result_buses: int = 2
 
+    #: Sanity ceilings: queue/ROB sizes past this are configuration
+    #: garbage, not design points (the paper sweeps 1-9 entries).
+    MAX_QUEUE = 4096
+    MAX_LATENCY = 10_000
+    MAX_BUSES = 8
+
     def __post_init__(self) -> None:
-        _require(self.instruction_queue >= 1, "instruction_queue must be >= 1")
-        _require(self.load_queue >= 1, "load_queue must be >= 1")
-        _require(self.store_queue >= 1, "store_queue must be >= 1")
-        _require(self.rob_entries >= 1, "rob_entries must be >= 1")
-        for name in ("add_latency", "mul_latency", "div_latency", "cvt_latency"):
-            _require(getattr(self, name) >= 1, f"{name} must be >= 1")
-        _require(self.result_buses >= 1, "result_buses must be >= 1")
+        self.validate()
+
+    def validate(self) -> "FPUConfig":
+        """Check every field; raises :class:`ConfigError` naming each
+        offending field.  Returns ``self`` so calls chain."""
+        problems = self._violations()
+        if problems:
+            raise ConfigError("invalid FPUConfig: " + "; ".join(problems))
+        return self
+
+    def _violations(self) -> list[str]:
+        problems: list[str] = []
+        if not isinstance(self.issue_policy, FPIssuePolicy):
+            problems.append(
+                f"issue_policy must be an FPIssuePolicy, "
+                f"got {type(self.issue_policy).__name__}"
+            )
+        for name in ("instruction_queue", "load_queue", "store_queue",
+                     "rob_entries"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                problems.append(f"{name} must be >= 1 (got {value!r})")
+            elif value > self.MAX_QUEUE:
+                problems.append(
+                    f"{name} of {value} exceeds the sanity ceiling "
+                    f"{self.MAX_QUEUE}"
+                )
+        for name in ("add_latency", "mul_latency", "div_latency",
+                     "cvt_latency"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                problems.append(f"{name} must be >= 1 (got {value!r})")
+            elif value > self.MAX_LATENCY:
+                problems.append(
+                    f"{name} of {value} exceeds the sanity ceiling "
+                    f"{self.MAX_LATENCY}"
+                )
+        if not isinstance(self.result_buses, int) or self.result_buses < 1:
+            problems.append(
+                f"result_buses must be >= 1 (got {self.result_buses!r})"
+            )
+        elif self.result_buses > self.MAX_BUSES:
+            problems.append(
+                f"result_buses of {self.result_buses} exceeds the sanity "
+                f"ceiling {self.MAX_BUSES}"
+            )
+        return problems
 
     def with_(self, **changes) -> "FPUConfig":
         """Return a copy with the given fields replaced."""
@@ -106,30 +152,110 @@ class MachineConfig:
     fpu_precise_exceptions: bool = False
     fpu: FPUConfig = field(default_factory=FPUConfig)
 
+    #: Sanity ceilings separating ambitious design points from garbage.
+    MAX_CACHE_BYTES = 1 << 30
+    MAX_STRUCTURE = 4096
+    MAX_LATENCY = 1_000_000
+    #: A full write-cache drain may take at most this many memory round
+    #: trips; a write cache the BIU cannot drain within that bound stalls
+    #: the machine indefinitely on every flush and is not a buildable point.
+    MAX_DRAIN_ROUND_TRIPS = 16
+
     def __post_init__(self) -> None:
-        _require(self.issue_width in (1, 2), "issue_width must be 1 or 2")
-        _require(
-            self.line_bytes > 0 and self.line_bytes & (self.line_bytes - 1) == 0,
-            "line_bytes must be a power of two",
-        )
+        self.validate()
+
+    def validate(self) -> "MachineConfig":
+        """Check every field and cross-field constraint.
+
+        Collects *all* violations and raises one :class:`ConfigError`
+        whose message names each offending field, instead of today's
+        garbage-in/garbage-out.  Returns ``self`` so calls chain::
+
+            result = simulate_trace(trace, config.validate())
+        """
+        problems = self._violations()
+        if problems:
+            raise ConfigError("invalid MachineConfig: " + "; ".join(problems))
+        return self
+
+    def _violations(self) -> list[str]:
+        problems: list[str] = []
+        if self.issue_width not in (1, 2):
+            problems.append(
+                f"issue_width must be 1 or 2 (got {self.issue_width!r})"
+            )
+        if not _is_power_of_two(self.line_bytes) or self.line_bytes < 4:
+            problems.append(
+                f"line_bytes must be a power of two >= 4 "
+                f"(got {self.line_bytes!r})"
+            )
+            return problems  # cache/page rules below divide by line_bytes
         for name in ("icache_bytes", "dcache_bytes"):
             value = getattr(self, name)
-            _require(
-                value >= self.line_bytes and value % self.line_bytes == 0,
-                f"{name} must be a multiple of line_bytes",
+            if (
+                not _is_power_of_two(value)
+                or value < self.line_bytes
+            ):
+                problems.append(
+                    f"{name} must be a power of two and a multiple of "
+                    f"line_bytes={self.line_bytes} (got {value!r})"
+                )
+            elif value > self.MAX_CACHE_BYTES:
+                problems.append(
+                    f"{name} of {value} exceeds the sanity ceiling "
+                    f"{self.MAX_CACHE_BYTES}"
+                )
+        if not _is_power_of_two(self.page_bytes) or self.page_bytes < self.line_bytes:
+            problems.append(
+                f"page_bytes must be a power of two >= line_bytes="
+                f"{self.line_bytes} (got {self.page_bytes!r})"
             )
-        _require(self.writecache_lines >= 1, "writecache_lines must be >= 1")
-        _require(self.rob_entries >= 1, "rob_entries must be >= 1")
-        _require(self.mshr_entries >= 1, "mshr_entries must be >= 1")
-        _require(self.prefetch_buffers >= 1, "prefetch_buffers must be >= 1")
-        _require(self.prefetch_line_depth >= 1, "prefetch_line_depth must be >= 1")
-        _require(self.mem_latency >= 1, "mem_latency must be >= 1")
-        _require(self.dcache_latency >= 1, "dcache_latency must be >= 1")
-        if self.split_prefetch_pool:
-            _require(
-                self.prefetch_buffers >= 2,
-                "split_prefetch_pool needs at least 2 buffers",
+        for name in ("writecache_lines", "rob_entries", "mshr_entries",
+                     "prefetch_buffers", "prefetch_line_depth",
+                     "retire_width"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                problems.append(f"{name} must be >= 1 (got {value!r})")
+            elif value > self.MAX_STRUCTURE:
+                problems.append(
+                    f"{name} of {value} exceeds the sanity ceiling "
+                    f"{self.MAX_STRUCTURE}"
+                )
+        for name in ("mem_latency", "dcache_latency", "bus_occupancy"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                problems.append(f"{name} must be >= 1 (got {value!r})")
+            elif value > self.MAX_LATENCY:
+                problems.append(
+                    f"{name} of {value} exceeds the sanity ceiling "
+                    f"{self.MAX_LATENCY}"
+                )
+        if not problems:
+            # Cross-field rules only once the individual fields are sane.
+            drain = self.writecache_lines * self.bus_occupancy
+            budget = self.MAX_DRAIN_ROUND_TRIPS * self.mem_latency
+            if drain > budget:
+                problems.append(
+                    f"writecache_lines: a full drain needs "
+                    f"{self.writecache_lines} lines x {self.bus_occupancy} "
+                    f"bus cycles = {drain} cycles, more than the BIU can "
+                    f"drain in {self.MAX_DRAIN_ROUND_TRIPS} memory round "
+                    f"trips ({budget} cycles)"
+                )
+            if self.split_prefetch_pool and self.prefetch_buffers < 2:
+                problems.append(
+                    "prefetch_buffers: split_prefetch_pool needs at least "
+                    f"2 buffers (got {self.prefetch_buffers})"
+                )
+        if not isinstance(self.fpu, FPUConfig):
+            problems.append(
+                f"fpu must be an FPUConfig (got {type(self.fpu).__name__})"
             )
+        else:
+            problems.extend(
+                f"fpu.{problem}" for problem in self.fpu._violations()
+            )
+        return problems
 
     # ------------------------------------------------------------- variants
 
@@ -170,9 +296,8 @@ class ConfigError(ValueError):
     """Raised for invalid machine configurations."""
 
 
-def _require(condition: bool, message: str) -> None:
-    if not condition:
-        raise ConfigError(message)
+def _is_power_of_two(value) -> bool:
+    return isinstance(value, int) and value > 0 and value & (value - 1) == 0
 
 
 def small_model(**overrides) -> MachineConfig:

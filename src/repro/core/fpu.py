@@ -210,6 +210,28 @@ class DecoupledFPU:
         """When the IPU could read FP register ``fs`` (for mfc1)."""
         return self.reg_ready[fs]
 
+    def assert_capacity(self) -> None:
+        """Runtime invariant guard (polled by the watchdog).
+
+        Queue and reorder-buffer occupancy may never exceed the
+        configured capacity — the deques are trimmed on every append, so
+        an over-full structure means the model's bookkeeping broke.
+        """
+        from repro.robustness.guards import GuardViolation
+
+        cfg = self.cfg
+        for name, queue, capacity in (
+            ("instruction queue", self._iq_releases, cfg.instruction_queue),
+            ("load queue", self._lq_releases, cfg.load_queue),
+            ("store queue", self._sq_releases, cfg.store_queue),
+            ("reorder buffer", self._rob_retires, cfg.rob_entries),
+        ):
+            if len(queue) > capacity:
+                raise GuardViolation(
+                    f"FPU {name} holds {len(queue)} entries; configured "
+                    f"capacity is {capacity}"
+                )
+
     # ------------------------------------------------------------ internals
 
     def _issue(self, arrive: int, operand_ready: int, unit: FPUnit | None) -> int:

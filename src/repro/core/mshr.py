@@ -61,3 +61,24 @@ class MSHRFile:
     def all_free_at(self) -> int:
         """Time when every entry is free (drain time)."""
         return max(self._free_at)
+
+    def assert_capacity(self) -> None:
+        """Runtime invariant guard (polled by the watchdog).
+
+        The file must still hold exactly its configured number of entries
+        and every busy-until timestamp must be a non-negative int — a
+        violation means state corruption, not machine behaviour.
+        """
+        from repro.robustness.guards import GuardViolation
+
+        if len(self._free_at) != self.entries:
+            raise GuardViolation(
+                f"MSHR file holds {len(self._free_at)} entries; "
+                f"configured capacity is {self.entries}"
+            )
+        for index, free_at in enumerate(self._free_at):
+            if not isinstance(free_at, int) or free_at < 0:
+                raise GuardViolation(
+                    f"MSHR entry {index} has corrupt busy-until "
+                    f"timestamp {free_at!r}"
+                )

@@ -81,13 +81,32 @@ class SimulationResult:
 
 
 class AuroraProcessor:
-    """One configured Aurora III machine, ready to time traces."""
+    """One configured Aurora III machine, ready to time traces.
 
-    def __init__(self, config: MachineConfig) -> None:
+    ``policy`` tunes the runtime invariant guards
+    (:class:`repro.robustness.guards.RobustnessPolicy`); the default keeps
+    the forward-progress watchdog, occupancy checks and cycle-overflow
+    guard enabled with bounds no legitimate run reaches.
+    """
+
+    def __init__(
+        self, config: MachineConfig, policy: "RobustnessPolicy | None" = None
+    ) -> None:
+        from repro.robustness.guards import RobustnessPolicy
+
+        config.validate()
         self.config = config
+        self.policy = policy if policy is not None else RobustnessPolicy()
 
     def run(self, trace: list[TraceRecord]) -> SimulationResult:
-        """Time one trace; returns stats for the whole run."""
+        """Time one trace; returns stats for the whole run.
+
+        Raises :class:`repro.robustness.guards.SimulationError` if a
+        runtime invariant guard trips (wedged pipeline, structure
+        over-occupancy, cycle-count overflow).
+        """
+        from repro.robustness.guards import Watchdog
+
         cfg = self.config
         stats = SimStats()
         biu = BusInterfaceUnit(latency=cfg.mem_latency, occupancy=cfg.bus_occupancy)
@@ -110,6 +129,15 @@ class AuroraProcessor:
             write_validation=cfg.write_validation,
         )
         fpu = DecoupledFPU(cfg.fpu)
+
+        watchdog: Watchdog | None = None
+        if self.policy.enabled:
+            watchdog = Watchdog(
+                cfg, self.policy, stall_source=stats.stall_cycles
+            )
+            watchdog.watch(mshr)
+            watchdog.watch(writecache)
+            watchdog.watch(fpu)
 
         line_shift = cfg.line_bytes.bit_length() - 1
         dcache_latency = cfg.dcache_latency
@@ -386,6 +414,9 @@ class AuroraProcessor:
                 rob.popleft()
                 rob_is_mem.popleft()
 
+            if watchdog is not None:
+                watchdog.observe(index, retire)
+
         # ------------------------------------------------------------ drain
         end = last_retire
         end = max(end, fpu.last_event, mshr.all_free_at)
@@ -413,7 +444,18 @@ class AuroraProcessor:
 
 
 def simulate_trace(
-    trace: list[TraceRecord], config: MachineConfig
+    trace: list[TraceRecord],
+    config: MachineConfig,
+    policy: "RobustnessPolicy | None" = None,
 ) -> SimulationResult:
-    """Convenience wrapper: time ``trace`` on a machine built from ``config``."""
-    return AuroraProcessor(config).run(trace)
+    """Convenience wrapper: time ``trace`` on a machine built from ``config``.
+
+    Eagerly validates the configuration and (a deterministic sample of)
+    the trace before spending any simulation time, so impossible machine
+    points and corrupt traces fail fast with a precise error instead of
+    producing garbage numbers.
+    """
+    from repro.robustness.validation import validate_trace
+
+    validate_trace(trace)
+    return AuroraProcessor(config, policy).run(trace)

@@ -82,6 +82,7 @@ class WriteCache:
         self._page_shift = page_bytes.bit_length() - 1
         self._biu = biu
         self.write_validation = write_validation
+        self.capacity = lines
         self._lines = [_WCLine() for _ in range(lines)]
         self._clock = 0
         self.stats = WriteCacheStats()
@@ -156,6 +157,44 @@ class WriteCache:
             entry.word_mask = 0
             entry.dirty = False
         return done
+
+    def assert_capacity(self) -> None:
+        """Runtime invariant guard (polled by the watchdog).
+
+        The fully-associative array must hold exactly ``capacity`` lines,
+        no line number may appear twice, and every word mask must fit the
+        line's word count — violations mean state corruption.
+        """
+        from repro.robustness.guards import GuardViolation
+
+        if len(self._lines) != self.capacity:
+            raise GuardViolation(
+                f"write cache holds {len(self._lines)} lines; "
+                f"configured capacity is {self.capacity}"
+            )
+        full_mask = (1 << (self.line_bytes >> 2)) - 1
+        seen: set[int] = set()
+        for index, entry in enumerate(self._lines):
+            if not entry.valid:
+                continue
+            if entry.line in seen:
+                raise GuardViolation(
+                    f"write cache line number {entry.line} is resident "
+                    "twice (associative lookup corrupted)"
+                )
+            seen.add(entry.line)
+            if entry.word_mask & ~full_mask:
+                raise GuardViolation(
+                    f"write cache entry {index} word mask "
+                    f"{entry.word_mask:#x} exceeds the line's "
+                    f"{self.line_bytes >> 2} words"
+                )
+            if entry.validated_at < 0 or entry.data_ready_at < 0:
+                raise GuardViolation(
+                    f"write cache entry {index} has corrupt timestamps "
+                    f"(validated_at={entry.validated_at}, "
+                    f"data_ready_at={entry.data_ready_at})"
+                )
 
     # ------------------------------------------------------------- internals
 

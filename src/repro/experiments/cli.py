@@ -21,6 +21,7 @@ from repro.core.config import (
     MachineConfig,
 )
 from repro.cost.rbe import fpu_cost, ipu_cost
+from repro.experiments.run_all import positive_float
 from repro.workloads.registry import all_specs
 
 _MODELS = {
@@ -74,10 +75,18 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.run_all import run_all
+    from repro.experiments.run_all import run_resilient
 
-    run_all(factor=args.factor, out_dir=args.out, only=args.only)
-    return 0
+    _results, report = run_resilient(
+        factor=args.factor,
+        out_dir=args.out,
+        only=args.only,
+        resume=not args.no_resume,
+        manifest=args.manifest,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    return 0 if report.ok else 1
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -113,9 +122,17 @@ def main(argv: list[str] | None = None) -> int:
     p_suite.set_defaults(func=cmd_suite)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper experiments")
-    p_exp.add_argument("--factor", type=float, default=1.0)
+    p_exp.add_argument("--factor", type=positive_float, default=1.0)
     p_exp.add_argument("--out", default=None)
     p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.add_argument("--timeout", type=float, default=None,
+                       help="per-experiment wall-clock budget (seconds)")
+    p_exp.add_argument("--retries", type=int, default=2,
+                       help="retries for transient failures")
+    p_exp.add_argument("--no-resume", action="store_true",
+                       help="ignore the checkpoint manifest")
+    p_exp.add_argument("--manifest", default=None,
+                       help="checkpoint manifest path")
     p_exp.set_defaults(func=cmd_experiments)
 
     p_cost = sub.add_parser("cost", help="RBE cost of a configuration")

@@ -14,6 +14,7 @@ from repro.core.config import MachineConfig
 from repro.core.processor import simulate_trace
 from repro.core.stats import SimStats
 from repro.func.trace import TraceRecord
+from repro.robustness.validation import validate_factor
 from repro.workloads.registry import FP_SUITE, INTEGER_SUITE, get_spec, get_trace
 
 #: Minimum sensible scale per workload when shrinking via ``factor``.
@@ -41,7 +42,10 @@ def scaled_trace(name: str, factor: float = 1.0) -> list[TraceRecord]:
 
     ``factor < 1`` shrinks runs for quick benchmarking; workload-specific
     minimums and parity constraints (nasa7's even dimension) are honoured.
+    Non-positive or non-finite factors are rejected up front (they would
+    otherwise produce nonsense scales deep inside the trace generator).
     """
+    factor = validate_factor(factor)
     if factor == 1.0:
         return get_trace(name)
     spec = get_spec(name)
@@ -81,6 +85,11 @@ class CpiSummary:
     def from_stats(
         cls, label: str, cost: float, stats: dict[str, SimStats]
     ) -> "CpiSummary":
+        if not stats:
+            raise ValueError(
+                f"CpiSummary {label!r}: empty suite stats — no benchmarks "
+                "were simulated for this configuration"
+            )
         cpis = {name: s.cpi for name, s in stats.items()}
         values = list(cpis.values())
         return cls(

@@ -1,19 +1,31 @@
-"""Run every paper experiment and print (and optionally save) the reports.
+"""Run every paper experiment fault-tolerantly, with checkpoint/resume.
 
 Usage::
 
     python -m repro.experiments.run_all [--factor 0.5] [--out results/]
+                                        [--only fig4 ...] [--timeout 600]
+                                        [--retries 2] [--no-resume]
+                                        [--manifest path.json]
 
 ``--factor`` shrinks every workload to that fraction of its default size
 for faster turnarounds; 1.0 reproduces the shipped EXPERIMENTS.md runs.
+
+Execution goes through :class:`repro.robustness.runner.ResilientRunner`:
+each experiment is isolated (a crash or timeout in one no longer aborts
+the sweep), transient failures retry with bounded backoff, and completed
+results checkpoint to a manifest keyed by (experiment id, factor, code
+hash) — re-running the same sweep skips finished work and re-runs only
+what failed.  The process exit code is non-zero iff any experiment
+failed, and a partial-results report always prints.
 """
 
 from __future__ import annotations
 
 import argparse
-import pathlib
 import sys
-import time
+
+from repro.robustness.runner import ResilientRunner, RunReport
+from repro.robustness.validation import validate_factor
 
 from repro.experiments import (
     fig1_clock_trend,
@@ -47,37 +59,74 @@ EXPERIMENTS = {
 }
 
 
+def run_resilient(
+    factor: float = 1.0,
+    out_dir: str | None = None,
+    only: list[str] | None = None,
+    stream=None,
+    *,
+    resume: bool = True,
+    manifest: str | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    fault_plan=None,
+) -> tuple[dict[str, object], RunReport]:
+    """Run the selected experiments; returns ``(results, report)``.
+
+    ``results`` maps experiment id to the driver's result object (or a
+    :class:`~repro.robustness.runner.CheckpointedResult` restored from
+    the manifest); ``report`` lists every outcome with causes.  When
+    neither ``manifest`` nor ``out_dir`` is given there is nowhere to
+    checkpoint, so every experiment runs fresh.
+    """
+    validate_factor(factor, where="--factor")
+    runner = ResilientRunner(
+        manifest_path=manifest,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        fault_plan=fault_plan,
+    )
+    return runner.run(
+        EXPERIMENTS,
+        factor=factor,
+        only=only,
+        resume=resume,
+        stream=stream if stream is not None else sys.stdout,
+        out_dir=out_dir,
+    )
+
+
 def run_all(
     factor: float = 1.0,
     out_dir: str | None = None,
     only: list[str] | None = None,
     stream=None,
+    **kwargs,
 ) -> dict[str, object]:
-    """Run the selected experiments; returns {id: result}."""
-    stream = stream or sys.stdout
-    results: dict[str, object] = {}
-    out_path = pathlib.Path(out_dir) if out_dir else None
-    if out_path:
-        out_path.mkdir(parents=True, exist_ok=True)
-    for exp_id, runner in EXPERIMENTS.items():
-        if only and exp_id not in only:
-            continue
-        started = time.time()
-        result = runner(factor)
-        elapsed = time.time() - started
-        results[exp_id] = result
-        text = result.render()
-        print(f"==== {exp_id} ({elapsed:.1f}s) ====", file=stream)
-        print(text, file=stream)
-        print(file=stream)
-        if out_path:
-            (out_path / f"{exp_id}.txt").write_text(text + "\n")
+    """Back-compatible wrapper around :func:`run_resilient`.
+
+    Returns only the ``{id: result}`` mapping the original bare loop
+    returned; keyword arguments pass through to :func:`run_resilient`.
+    """
+    results, _report = run_resilient(
+        factor=factor, out_dir=out_dir, only=only, stream=stream, **kwargs
+    )
     return results
+
+
+def positive_float(text: str) -> float:
+    """Argparse type for ``--factor``: strictly positive, finite."""
+    try:
+        return validate_factor(float(text), where="--factor")
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--factor", type=float, default=1.0)
+    parser.add_argument("--factor", type=positive_float, default=1.0)
     parser.add_argument("--out", default=None, help="directory for .txt reports")
     parser.add_argument(
         "--only",
@@ -86,9 +135,39 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS),
         help="run only these experiment ids",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-experiment wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry attempts for transient failures",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore the checkpoint manifest and re-run everything",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="checkpoint manifest path (default: <out>/manifest.json)",
+    )
     args = parser.parse_args(argv)
-    run_all(factor=args.factor, out_dir=args.out, only=args.only)
-    return 0
+    _results, report = run_resilient(
+        factor=args.factor,
+        out_dir=args.out,
+        only=args.only,
+        resume=not args.no_resume,
+        manifest=args.manifest,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

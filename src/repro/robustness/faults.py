@@ -1,0 +1,136 @@
+"""Deterministic fault injection for exercising the robustness layers.
+
+Nothing here fires in a normal run: faults are injected only when a
+:class:`FaultPlan` is explicitly passed to
+:class:`~repro.robustness.runner.ResilientRunner` (or when
+:func:`corrupt_trace` is called on a trace).  Everything is deterministic
+— fault kinds and counts come from the plan, trace corruption from a
+seeded LCG — so the failure paths are testable byte-for-byte.
+
+Supported fault kinds (``FaultSpec.kind``):
+
+* ``"crash"`` — raise :class:`RuntimeError` on every attempt (a permanent
+  failure: exercises containment and the failure report),
+* ``"transient"`` — raise :class:`TransientFault` on the first
+  ``FaultSpec.count`` attempts, then let the experiment run (exercises
+  bounded-backoff retry),
+* ``"timeout"`` — sleep ``FaultSpec.seconds`` before running (exercises
+  the per-experiment wall-clock timeout),
+* ``"corrupt-result"`` — run the experiment, then return an object whose
+  ``render()`` raises (exercises containment of post-processing errors).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class TransientFault(RuntimeError):
+    """A failure expected to succeed on retry (injected or environmental)."""
+
+
+class _CorruptResult:
+    """Result stand-in whose rendering blows up (post-processing fault)."""
+
+    def render(self) -> str:
+        raise RuntimeError("injected corrupt result: render() failed")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One experiment's injected fault."""
+
+    kind: str  # "crash" | "transient" | "timeout" | "corrupt-result"
+    count: int = 1  # transient: how many attempts fail before success
+    seconds: float = 3600.0  # timeout: how long to wedge
+
+    _KINDS = ("crash", "transient", "timeout", "corrupt-result")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(self._KINDS)}"
+            )
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.seconds <= 0:
+            raise ValueError("seconds must be > 0")
+
+
+@dataclass
+class FaultPlan:
+    """Maps experiment ids to the fault injected into their execution.
+
+    The runner calls :meth:`wrap` around each experiment callable; for
+    unlisted experiments the callable passes through untouched.
+    """
+
+    faults: dict[str, FaultSpec] = field(default_factory=dict)
+    #: attempts seen so far, per experiment (for transient counting)
+    attempts: dict[str, int] = field(default_factory=dict)
+    #: sleep hook, replaceable in tests so "timeout" faults are instant
+    sleep: object = time.sleep
+
+    def add(self, exp_id: str, kind: str, **kwargs) -> "FaultPlan":
+        self.faults[exp_id] = FaultSpec(kind=kind, **kwargs)
+        return self
+
+    def wrap(self, exp_id: str, fn):
+        """Wrap ``fn`` with this plan's fault for ``exp_id`` (if any)."""
+        spec = self.faults.get(exp_id)
+        if spec is None:
+            return fn
+
+        def faulty(*args, **kwargs):
+            attempt = self.attempts.get(exp_id, 0) + 1
+            self.attempts[exp_id] = attempt
+            if spec.kind == "crash":
+                raise RuntimeError(
+                    f"injected crash in experiment {exp_id!r} "
+                    f"(attempt {attempt})"
+                )
+            if spec.kind == "transient" and attempt <= spec.count:
+                raise TransientFault(
+                    f"injected transient fault in experiment {exp_id!r} "
+                    f"(attempt {attempt}/{spec.count})"
+                )
+            if spec.kind == "timeout":
+                self.sleep(spec.seconds)
+            result = fn(*args, **kwargs)
+            if spec.kind == "corrupt-result":
+                return _CorruptResult()
+            return result
+
+        return faulty
+
+
+def corrupt_trace(trace: list, seed: int = 0, fraction: float = 0.001) -> list:
+    """Return a copy of ``trace`` with deterministically corrupted records.
+
+    Uses a seeded LCG (no ``random`` module state touched) to pick victim
+    records and smash one field per victim — an out-of-range register id,
+    an unknown kind, or a negative address — always including record 0 so
+    the sampled validator of :func:`repro.robustness.validation.validate_trace`
+    is guaranteed to see at least one bad record.
+    """
+    corrupted = list(trace)
+    if not corrupted:
+        return corrupted
+    count = max(1, int(len(corrupted) * fraction))
+    state = (seed * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+    victims = {0}
+    while len(victims) < min(count, len(corrupted)):
+        state = (state * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        victims.add((state >> 33) % len(corrupted))
+    smashers = (
+        lambda r: (r[0], r[1], 999, r[3], r[4], r[5]),  # bad dst register
+        lambda r: (r[0], 127, r[2], r[3], r[4], r[5]),  # unknown kind
+        lambda r: (r[0], r[1], r[2], r[3], r[4], -8),  # negative address
+        lambda r: (-4, r[1], r[2], r[3], r[4], r[5]),  # negative pc
+    )
+    for which, index in enumerate(sorted(victims)):
+        record = tuple(corrupted[index])
+        corrupted[index] = smashers[which % len(smashers)](record)
+    return corrupted

@@ -1,0 +1,372 @@
+"""Fault-tolerant experiment execution with checkpoint/resume.
+
+``run_all`` used to be a bare loop: the first crash threw away every
+finished experiment and a hung one blocked the sweep forever.
+:class:`ResilientRunner` replaces that with:
+
+* **Isolation** — each experiment runs in its own worker thread; any
+  exception (including in ``render()``) is contained and recorded, and a
+  per-experiment wall-clock timeout abandons hung runs instead of
+  blocking the sweep.
+* **Retry** — failures classified as transient (by default
+  :class:`~repro.robustness.faults.TransientFault` and :class:`OSError`)
+  are retried with bounded exponential backoff; permanent failures are
+  not retried, they are reported.
+* **Checkpointing** — every completed experiment's rendered report is
+  written to a JSON manifest keyed by ``(experiment id, factor, code
+  hash)``.  A re-run with the same key skips finished work and re-runs
+  only what failed; a code change or different factor invalidates the
+  key, so stale results are never reused.
+* **Partial-results report** — the runner always finishes and emits a
+  :class:`RunReport` listing succeeded / failed / checkpoint-skipped
+  experiments with their causes.
+
+Manifest format (``version`` 1)::
+
+    {"version": 1,
+     "entries": {"fig4": {"key": "fig4|factor=0.1|code=<hash>",
+                          "status": "ok",
+                          "elapsed": 12.3,
+                          "completed_at": 1722950000.0,
+                          "text": "<rendered report>"}}}
+
+Deterministic fault injection (:class:`~repro.robustness.faults.FaultPlan`)
+hooks in between the runner and the experiment callables, which is how the
+tests exercise every path above without flaky sleeps.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.robustness.faults import FaultPlan, TransientFault
+
+MANIFEST_VERSION = 1
+#: Default manifest location (relative to ``out_dir`` when one is given).
+MANIFEST_NAME = "manifest.json"
+
+
+class ExperimentTimeout(RuntimeError):
+    """An experiment exceeded its wall-clock budget and was abandoned."""
+
+
+@dataclass(frozen=True)
+class CheckpointedResult:
+    """Stand-in result restored from the manifest (text only)."""
+
+    exp_id: str
+    text: str
+
+    def render(self) -> str:
+        return self.text
+
+
+@dataclass
+class ExperimentOutcome:
+    """What happened to one experiment in one sweep."""
+
+    exp_id: str
+    status: str  # "ok" | "failed" | "timeout" | "checkpointed"
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in ("ok", "checkpointed")
+
+
+@dataclass
+class RunReport:
+    """Partial-results summary the runner always emits."""
+
+    outcomes: list[ExperimentOutcome] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> list[ExperimentOutcome]:
+        return [o for o in self.outcomes if o.status == "ok"]
+
+    @property
+    def checkpointed(self) -> list[ExperimentOutcome]:
+        return [o for o in self.outcomes if o.status == "checkpointed"]
+
+    @property
+    def failed(self) -> list[ExperimentOutcome]:
+        return [o for o in self.outcomes if not o.succeeded]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [
+            "experiment sweep report: "
+            f"{len(self.succeeded)} ran, "
+            f"{len(self.checkpointed)} from checkpoint, "
+            f"{len(self.failed)} failed"
+        ]
+        for outcome in self.outcomes:
+            line = f"  {outcome.exp_id:<10} {outcome.status:<13}"
+            if outcome.status == "ok":
+                line += f"{outcome.elapsed:7.1f}s  ({outcome.attempts} attempt"
+                line += "s)" if outcome.attempts != 1 else ")"
+            elif outcome.error:
+                line += f" {outcome.error}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file — the manifest's code key.
+
+    Any edit to the simulator or the experiment drivers changes the
+    fingerprint, which invalidates checkpointed results (they were
+    produced by different code).
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def _default_is_transient(error: BaseException) -> bool:
+    return isinstance(error, (TransientFault, OSError))
+
+
+class ResilientRunner:
+    """Run a mapping of experiments fault-tolerantly (see module docs)."""
+
+    def __init__(
+        self,
+        manifest_path: str | pathlib.Path | None = None,
+        *,
+        timeout: float | None = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        max_backoff: float = 2.0,
+        fault_plan: FaultPlan | None = None,
+        is_transient: Callable[[BaseException], bool] = _default_is_transient,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be > 0 (or None)")
+        if backoff < 0 or max_backoff < 0:
+            raise ValueError("backoff values must be >= 0")
+        self.manifest_path = (
+            pathlib.Path(manifest_path) if manifest_path else None
+        )
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.fault_plan = fault_plan
+        self.is_transient = is_transient
+        self._sleep = sleep
+        self._clock = clock
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        experiments: Mapping[str, Callable[[float], object]],
+        *,
+        factor: float = 1.0,
+        only: list[str] | None = None,
+        resume: bool = True,
+        stream=None,
+        out_dir: str | pathlib.Path | None = None,
+        code_hash: str | None = None,
+    ) -> tuple[dict[str, object], RunReport]:
+        """Run the selected experiments; returns ``(results, report)``.
+
+        ``results`` maps experiment id to the driver's result object, or a
+        :class:`CheckpointedResult` when the manifest supplied it.
+        """
+        if only:
+            unknown = sorted(set(only) - set(experiments))
+            if unknown:
+                raise ValueError(
+                    f"unknown experiment ids: {', '.join(unknown)}; "
+                    f"known: {', '.join(sorted(experiments))}"
+                )
+        code_hash = code_hash or code_fingerprint()
+        out_path = pathlib.Path(out_dir) if out_dir else None
+        if out_path:
+            out_path.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.manifest_path
+        if manifest_path is None and out_path is not None:
+            manifest_path = out_path / MANIFEST_NAME
+        entries = self._load_manifest(manifest_path) if resume else {}
+
+        results: dict[str, object] = {}
+        report = RunReport()
+        for exp_id, runner_fn in experiments.items():
+            if only and exp_id not in only:
+                continue
+            key = self._key(exp_id, factor, code_hash)
+            entry = entries.get(exp_id)
+            if entry and entry.get("key") == key and entry.get("status") == "ok":
+                results[exp_id] = CheckpointedResult(exp_id, entry.get("text", ""))
+                report.outcomes.append(
+                    ExperimentOutcome(exp_id, "checkpointed")
+                )
+                self._emit(stream, exp_id, "checkpointed", entry.get("text", ""))
+                continue
+            outcome, text, result = self._run_one(exp_id, runner_fn, factor)
+            report.outcomes.append(outcome)
+            if outcome.status == "ok":
+                results[exp_id] = result
+                entries[exp_id] = {
+                    "key": key,
+                    "status": "ok",
+                    "elapsed": outcome.elapsed,
+                    "completed_at": time.time(),
+                    "text": text,
+                }
+                if out_path:
+                    (out_path / f"{exp_id}.txt").write_text(text + "\n")
+                self._save_manifest(manifest_path, entries)
+                self._emit(
+                    stream,
+                    exp_id,
+                    f"ok ({outcome.elapsed:.1f}s)",
+                    text,
+                )
+            else:
+                # Drop any stale checkpoint for a now-failing experiment.
+                if entry is not None and entry.get("key") != key:
+                    entries.pop(exp_id, None)
+                    self._save_manifest(manifest_path, entries)
+                self._emit(
+                    stream,
+                    exp_id,
+                    f"{outcome.status}: {outcome.error}",
+                    None,
+                )
+        if stream is not None:
+            print(report.render(), file=stream)
+        return results, report
+
+    # ------------------------------------------------------------ internals
+
+    def _run_one(self, exp_id, runner_fn, factor):
+        """Execute one experiment with containment, timeout and retry."""
+        fn = runner_fn
+        if self.fault_plan is not None:
+            fn = self.fault_plan.wrap(exp_id, fn)
+        attempts = 0
+        started = self._clock()
+        while True:
+            attempts += 1
+            try:
+                result = self._call_with_timeout(exp_id, fn, factor)
+                text = result.render()
+                elapsed = self._clock() - started
+                return (
+                    ExperimentOutcome(exp_id, "ok", attempts, elapsed),
+                    text,
+                    result,
+                )
+            except ExperimentTimeout as error:
+                elapsed = self._clock() - started
+                return (
+                    ExperimentOutcome(
+                        exp_id, "timeout", attempts, elapsed, str(error)
+                    ),
+                    None,
+                    None,
+                )
+            except BaseException as error:  # noqa: BLE001 - containment
+                if self.is_transient(error) and attempts <= self.retries:
+                    delay = min(
+                        self.backoff * (2 ** (attempts - 1)), self.max_backoff
+                    )
+                    if delay > 0:
+                        self._sleep(delay)
+                    continue
+                elapsed = self._clock() - started
+                cause = f"{type(error).__name__}: {error}"
+                return (
+                    ExperimentOutcome(
+                        exp_id, "failed", attempts, elapsed, cause
+                    ),
+                    None,
+                    None,
+                )
+
+    def _call_with_timeout(self, exp_id, fn, factor):
+        if self.timeout is None:
+            return fn(factor)
+        box: dict[str, object] = {}
+
+        def target() -> None:
+            try:
+                box["value"] = fn(factor)
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                box["error"] = error
+
+        worker = threading.Thread(
+            target=target, name=f"experiment-{exp_id}", daemon=True
+        )
+        worker.start()
+        worker.join(self.timeout)
+        if worker.is_alive():
+            # The thread cannot be killed; it is abandoned as a daemon.
+            raise ExperimentTimeout(
+                f"experiment {exp_id!r} exceeded {self.timeout:g}s "
+                "wall-clock budget and was abandoned"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    @staticmethod
+    def _key(exp_id: str, factor: float, code_hash: str) -> str:
+        return f"{exp_id}|factor={factor!r}|code={code_hash}"
+
+    @staticmethod
+    def _load_manifest(path: pathlib.Path | None) -> dict:
+        if path is None or not path.exists():
+            return {}
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}  # corrupt manifest: start fresh rather than die
+        if data.get("version") != MANIFEST_VERSION:
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    @staticmethod
+    def _save_manifest(path: pathlib.Path | None, entries: dict) -> None:
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION, "entries": entries}, indent=2
+        )
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(payload)
+        tmp.replace(path)  # atomic: a crash never corrupts the manifest
+
+    @staticmethod
+    def _emit(stream, exp_id: str, status: str, text: str | None) -> None:
+        if stream is None:
+            return
+        print(f"==== {exp_id} ({status}) ====", file=stream)
+        if text:
+            print(text, file=stream)
+        print(file=stream)

@@ -1,0 +1,125 @@
+"""Eager input validation: traces, scaling factors, workload scales.
+
+Machine-configuration validation itself lives on
+:meth:`repro.core.config.MachineConfig.validate` (so construction and
+explicit checks share one rule set); this module covers the *other*
+garbage-in paths the experiment layer feeds the simulator:
+
+* **Traces** — :func:`validate_trace` structurally checks trace records
+  (6-int tuples, a known timing kind, register ids inside the unified
+  space, non-negative pc/addr).  Full-trace validation would double the
+  cost of a timing run on multi-million-instruction traces, so it checks
+  a deterministic sample: the first ``head`` records exhaustively plus
+  every ``stride``-th record beyond — enough to catch format drift and
+  systematic corruption while staying O(n/stride).
+* **Factors and scales** — :func:`validate_factor` /
+  :func:`validate_scale` reject the zero/negative/NaN values that today
+  would silently produce nonsense workload sizes deep inside
+  ``scaled_trace``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.func.trace import NUM_UNIFIED_REGS
+from repro.isa.instructions import Kind
+
+_VALID_KINDS = frozenset(int(kind) for kind in Kind)
+
+#: Exhaustively validated prefix length.
+_HEAD = 4096
+#: Beyond the head, validate every ``_STRIDE``-th record.
+_STRIDE = 1009  # prime, so sampling never locks onto loop periods
+
+
+class TraceValidationError(ValueError):
+    """A trace record is structurally invalid; names index and field."""
+
+
+def _record_problem(record: object) -> str | None:
+    """Return a description of what is wrong with one record, or None."""
+    if not isinstance(record, (tuple, list)) or len(record) != 6:
+        return f"record must be a 6-tuple, got {type(record).__name__}"
+    pc, kind, dst, s1, s2, addr = record
+    for name, value in (("pc", pc), ("kind", kind), ("dst", dst),
+                        ("src1", s1), ("src2", s2), ("addr", addr)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            return f"{name} must be an int, got {type(value).__name__}"
+    if pc < 0:
+        return f"pc must be >= 0, got {pc}"
+    if pc & 3:
+        return f"pc must be word aligned, got {pc:#x}"
+    if kind not in _VALID_KINDS:
+        return f"kind {kind} is not a known instruction Kind"
+    for name, reg in (("dst", dst), ("src1", s1), ("src2", s2)):
+        if not (-1 <= reg < NUM_UNIFIED_REGS):
+            return (
+                f"{name} register id {reg} outside the unified space "
+                f"[-1, {NUM_UNIFIED_REGS - 1}]"
+            )
+    if addr < 0:
+        return f"addr must be >= 0, got {addr}"
+    return None
+
+
+def validate_trace(
+    trace: Sequence,
+    *,
+    head: int = _HEAD,
+    stride: int = _STRIDE,
+    allow_empty: bool = True,
+) -> None:
+    """Structurally validate ``trace`` (sampled; see module docstring).
+
+    Raises :class:`TraceValidationError` naming the first bad record's
+    index and field.  ``allow_empty=False`` additionally rejects empty
+    traces (the experiment layer uses it: simulating nothing yields a
+    0-cycle result that silently poisons suite averages).
+    """
+    if not isinstance(trace, Sequence) or isinstance(trace, (str, bytes)):
+        raise TraceValidationError(
+            f"trace must be a sequence of records, got {type(trace).__name__}"
+        )
+    length = len(trace)
+    if length == 0:
+        if allow_empty:
+            return
+        raise TraceValidationError("trace is empty: nothing to simulate")
+    for index in range(min(head, length)):
+        problem = _record_problem(trace[index])
+        if problem is not None:
+            raise TraceValidationError(f"trace record {index}: {problem}")
+    for index in range(head, length, stride):
+        problem = _record_problem(trace[index])
+        if problem is not None:
+            raise TraceValidationError(f"trace record {index}: {problem}")
+
+
+def validate_factor(factor: float, *, where: str = "factor") -> float:
+    """Reject non-positive / non-finite workload scaling factors."""
+    if isinstance(factor, bool) or not isinstance(factor, (int, float)):
+        raise ValueError(
+            f"{where} must be a positive number, got {type(factor).__name__}"
+        )
+    value = float(factor)
+    if not math.isfinite(value):
+        raise ValueError(f"{where} must be finite, got {factor!r}")
+    if value <= 0:
+        raise ValueError(f"{where} must be > 0, got {factor!r}")
+    return value
+
+
+def validate_scale(scale: int | None, *, where: str = "scale") -> int | None:
+    """Reject non-positive workload scales (``None`` means default)."""
+    if scale is None:
+        return None
+    if isinstance(scale, bool) or not isinstance(scale, int):
+        raise ValueError(
+            f"{where} must be a positive int or None, "
+            f"got {type(scale).__name__}"
+        )
+    if scale < 1:
+        raise ValueError(f"{where} must be >= 1, got {scale}")
+    return scale

@@ -1,0 +1,575 @@
+"""Tests for the robustness subsystem: config validation, runtime
+invariant guards, and the fault-tolerant checkpointing experiment runner.
+
+See docs/ROBUSTNESS.md for the contract under test.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core.config import BASELINE, ConfigError, FPUConfig, MachineConfig
+from repro.core.fpu import DecoupledFPU
+from repro.core.mshr import MSHRFile
+from repro.core.processor import AuroraProcessor, simulate_trace
+from repro.experiments.common import CpiSummary, scaled_trace
+from repro.robustness.faults import FaultPlan, FaultSpec, TransientFault, corrupt_trace
+from repro.robustness.guards import (
+    GuardViolation,
+    RobustnessPolicy,
+    SimulationError,
+    Watchdog,
+    config_fingerprint,
+)
+from repro.robustness.runner import (
+    CheckpointedResult,
+    ResilientRunner,
+    code_fingerprint,
+)
+from repro.robustness.validation import (
+    TraceValidationError,
+    validate_factor,
+    validate_scale,
+    validate_trace,
+)
+from repro.workloads.registry import get_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return get_trace("espresso", 12)
+
+
+# --------------------------------------------------------------------------
+# Layer 1: configuration and input validation
+# --------------------------------------------------------------------------
+
+
+class TestConfigValidationMatrix:
+    """Each invalid shape is rejected with a message naming the field."""
+
+    @pytest.mark.parametrize(
+        "overrides, field",
+        [
+            ({"issue_width": 3}, "issue_width"),
+            ({"line_bytes": 24}, "line_bytes"),
+            ({"icache_bytes": 3000}, "icache_bytes"),  # not a power of two
+            ({"dcache_bytes": 48 * 1024}, "dcache_bytes"),
+            ({"writecache_lines": 0}, "writecache_lines"),
+            ({"rob_entries": -1}, "rob_entries"),
+            ({"mshr_entries": 0}, "mshr_entries"),
+            ({"prefetch_buffers": 0}, "prefetch_buffers"),
+            ({"prefetch_line_depth": 0}, "prefetch_line_depth"),
+            ({"mem_latency": -5}, "mem_latency"),
+            ({"dcache_latency": 0}, "dcache_latency"),
+            ({"bus_occupancy": 0}, "bus_occupancy"),
+            ({"retire_width": 0}, "retire_width"),
+            ({"page_bytes": 100}, "page_bytes"),
+            # Write cache the BIU cannot drain: 1024 lines x 1000-cycle
+            # bus occupancy >> 16 memory round trips.
+            ({"writecache_lines": 1024, "bus_occupancy": 1000},
+             "writecache_lines"),
+            ({"mem_latency": 10_000_000}, "mem_latency"),  # sanity ceiling
+        ],
+    )
+    def test_rejected_naming_field(self, overrides, field):
+        with pytest.raises(ConfigError, match=field):
+            MachineConfig(**overrides)
+
+    @pytest.mark.parametrize(
+        "overrides, field",
+        [
+            ({"instruction_queue": 0}, "instruction_queue"),
+            ({"load_queue": -2}, "load_queue"),
+            ({"store_queue": 0}, "store_queue"),
+            ({"rob_entries": 0}, "rob_entries"),
+            ({"add_latency": 0}, "add_latency"),
+            ({"div_latency": -1}, "div_latency"),
+            ({"result_buses": 0}, "result_buses"),
+            ({"instruction_queue": 10**6}, "instruction_queue"),  # ceiling
+        ],
+    )
+    def test_fpu_rejected_naming_field(self, overrides, field):
+        with pytest.raises(ConfigError, match=field):
+            FPUConfig(**overrides)
+
+    def test_all_violations_collected(self):
+        """One error message lists every bad field, not just the first."""
+        with pytest.raises(ConfigError) as excinfo:
+            MachineConfig(mshr_entries=0, mem_latency=0, rob_entries=0)
+        message = str(excinfo.value)
+        assert "mshr_entries" in message
+        assert "mem_latency" in message
+        assert "rob_entries" in message
+
+    def test_nested_fpu_violations_prefixed(self):
+        fpu = object.__new__(FPUConfig)  # bypass __init__ validation
+        object.__setattr__(fpu, "__dict__", FPUConfig().__dict__.copy())
+        object.__setattr__(fpu, "load_queue", 0)
+        with pytest.raises(ConfigError, match=r"fpu\.load_queue"):
+            MachineConfig(fpu=fpu)
+
+    def test_validate_returns_self(self):
+        assert BASELINE.validate() is BASELINE
+
+    def test_valid_configs_pass(self):
+        for config in (BASELINE, MachineConfig(name="big", icache_bytes=1 << 20)):
+            config.validate()
+
+
+class TestTraceValidation:
+    def test_valid_trace_passes(self, small_trace):
+        validate_trace(small_trace)
+
+    def test_empty_trace_allowed_by_default(self):
+        validate_trace([])
+        stats = simulate_trace([], BASELINE).stats
+        assert stats.instructions == 0
+
+    def test_empty_trace_rejected_when_asked(self):
+        with pytest.raises(TraceValidationError, match="empty"):
+            validate_trace([], allow_empty=False)
+
+    def test_not_a_sequence(self):
+        with pytest.raises(TraceValidationError, match="sequence"):
+            validate_trace(42)
+
+    @pytest.mark.parametrize(
+        "record, field",
+        [
+            ((4, 0, 18), "6-tuple"),
+            ((4, 0, 18, -1, -1, 0.5), "addr"),
+            ((-4, 0, 18, -1, -1, 0), "pc"),
+            ((6, 0, 18, -1, -1, 0), "aligned"),
+            ((4, 127, 18, -1, -1, 0), "kind"),
+            ((4, 0, 999, -1, -1, 0), "dst"),
+            ((4, 0, 18, -2, -1, 0), "src1"),
+            ((4, 0, 18, -1, 66, 0), "src2"),
+            ((4, 1, 18, -1, -1, -8), "addr"),
+        ],
+    )
+    def test_bad_record_named(self, record, field):
+        with pytest.raises(TraceValidationError, match=field):
+            validate_trace([record])
+
+    def test_error_names_record_index(self, small_trace):
+        bad = list(small_trace)
+        bad[3] = (bad[3][0], 127, *bad[3][2:])
+        with pytest.raises(TraceValidationError, match="record 3"):
+            validate_trace(bad)
+
+    def test_corrupt_trace_caught_by_simulate(self, small_trace):
+        with pytest.raises(TraceValidationError):
+            simulate_trace(corrupt_trace(small_trace, seed=7), BASELINE)
+
+    def test_corrupt_trace_is_deterministic(self, small_trace):
+        assert corrupt_trace(small_trace, seed=3) == corrupt_trace(
+            small_trace, seed=3
+        )
+        assert corrupt_trace(small_trace, seed=3) != list(small_trace)
+
+
+class TestFactorAndScaleValidation:
+    @pytest.mark.parametrize("factor", [0, -1, -0.5, float("nan"), float("inf")])
+    def test_bad_factors(self, factor):
+        with pytest.raises(ValueError, match="factor"):
+            validate_factor(factor)
+
+    def test_good_factor_passes_through(self):
+        assert validate_factor(0.5) == 0.5
+
+    @pytest.mark.parametrize("factor", [0, -2])
+    def test_scaled_trace_rejects(self, factor):
+        with pytest.raises(ValueError, match="factor"):
+            scaled_trace("espresso", factor)
+
+    @pytest.mark.parametrize("scale", [0, -3, 1.5])
+    def test_bad_scales(self, scale):
+        with pytest.raises(ValueError, match="scale"):
+            validate_scale(scale)
+
+    def test_simulate_workload_rejects_bad_scale(self):
+        from repro.api import simulate_workload
+
+        with pytest.raises(ValueError, match="scale"):
+            simulate_workload("espresso", BASELINE, scale=0)
+
+    def test_cpi_summary_empty_stats(self):
+        with pytest.raises(ValueError, match="empty suite stats"):
+            CpiSummary.from_stats("baseline/dual", 100.0, {})
+
+    def test_run_all_cli_rejects_zero_factor(self, capsys):
+        from repro.experiments.run_all import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--factor", "0"])
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "--factor" in capsys.readouterr().err
+
+    def test_aurora_cli_rejects_negative_factor(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiments", "--factor", "-1"])
+        assert excinfo.value.code == 2
+        assert "--factor" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# Layer 2: runtime invariant guards
+# --------------------------------------------------------------------------
+
+
+class TestWatchdog:
+    def test_normal_run_never_trips(self, small_trace):
+        result = simulate_trace(
+            small_trace, BASELINE, policy=RobustnessPolicy(check_period=64)
+        )
+        assert result.stats.instructions == len(small_trace)
+
+    def test_guards_match_unguarded_numbers(self, small_trace):
+        guarded = simulate_trace(small_trace, BASELINE)
+        unguarded = simulate_trace(
+            small_trace, BASELINE, policy=RobustnessPolicy(enabled=False)
+        )
+        assert guarded.stats.cycles == unguarded.stats.cycles
+
+    def test_wedged_pipeline_trips_forward_progress(
+        self, small_trace, monkeypatch
+    ):
+        """An MSHR that grants slots aeons in the future wedges the
+        pipeline; the watchdog must trip within the configured bound."""
+        original = MSHRFile.allocate
+
+        def wedged(self, when):
+            grant, slot = original(self, when)
+            return grant + 10_000_000_000, slot
+
+        monkeypatch.setattr(MSHRFile, "allocate", wedged)
+        policy = RobustnessPolicy(max_stall_cycles=50_000)
+        with pytest.raises(SimulationError) as excinfo:
+            AuroraProcessor(BASELINE, policy).run(small_trace)
+        error = excinfo.value
+        assert error.reason == "forward-progress"
+        assert error.cycle > 10_000_000_000
+        assert error.fingerprint == config_fingerprint(BASELINE)
+        assert error.config_label == BASELINE.label
+        assert isinstance(error.stall_snapshot, dict)
+
+    def test_cycle_overflow_trips(self, small_trace, monkeypatch):
+        original = MSHRFile.allocate
+
+        def wedged(self, when):
+            grant, slot = original(self, when)
+            return grant + (1 << 40), slot
+
+        monkeypatch.setattr(MSHRFile, "allocate", wedged)
+        policy = RobustnessPolicy(
+            max_stall_cycles=1 << 50, cycle_limit=1 << 41
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            AuroraProcessor(BASELINE, policy).run(small_trace)
+        assert excinfo.value.reason == "cycle-overflow"
+
+    def test_occupancy_violation_becomes_simulation_error(self):
+        watchdog = Watchdog(BASELINE, RobustnessPolicy(check_period=1))
+        mshr = MSHRFile(2)
+        mshr._free_at.append(0)  # corrupt: 3 entries in a 2-entry file
+        watchdog.watch(mshr)
+        with pytest.raises(SimulationError) as excinfo:
+            watchdog.observe(0, 10)
+        assert excinfo.value.reason == "occupancy"
+        assert "MSHR" in str(excinfo.value)
+
+    def test_policy_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RobustnessPolicy(max_stall_cycles=0)
+        with pytest.raises(ValueError):
+            RobustnessPolicy(check_period=0)
+
+    def test_error_message_carries_context(self, small_trace, monkeypatch):
+        original = MSHRFile.allocate
+        monkeypatch.setattr(
+            MSHRFile,
+            "allocate",
+            lambda self, when: (original(self, when)[0] + 10**12, 0),
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            AuroraProcessor(
+                BASELINE, RobustnessPolicy(max_stall_cycles=1000)
+            ).run(small_trace)
+        message = str(excinfo.value)
+        assert "forward-progress" in message
+        assert "baseline/dual/L17" in message
+        assert "fingerprint" in message
+
+
+class TestStructureGuards:
+    def test_mshr_healthy(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(5)
+        mshr.assert_capacity()
+
+    def test_mshr_corrupt_timestamp(self):
+        mshr = MSHRFile(2)
+        mshr._free_at[1] = -7
+        with pytest.raises(GuardViolation, match="busy-until"):
+            mshr.assert_capacity()
+
+    def test_writecache_healthy_and_duplicate_line(self):
+        from repro.core.biu import BusInterfaceUnit
+        from repro.core.writecache import WriteCache
+
+        wc = WriteCache(4, 32, BusInterfaceUnit(latency=17, occupancy=4))
+        wc.store(0x1000, 1)
+        wc.store(0x2000, 2)
+        wc.assert_capacity()
+        wc._lines[1].line = wc._lines[0].line  # corrupt: duplicate resident
+        with pytest.raises(GuardViolation, match="twice"):
+            wc.assert_capacity()
+
+    def test_fpu_overfull_queue(self):
+        fpu = DecoupledFPU(FPUConfig())
+        fpu.assert_capacity()
+        fpu._iq_releases.extend([0] * (FPUConfig().instruction_queue + 1))
+        with pytest.raises(GuardViolation, match="instruction queue"):
+            fpu.assert_capacity()
+
+    def test_config_fingerprint_distinguishes_configs(self):
+        assert config_fingerprint(BASELINE) == config_fingerprint(BASELINE)
+        assert config_fingerprint(BASELINE) != config_fingerprint(
+            BASELINE.with_mshrs(4)
+        )
+
+
+# --------------------------------------------------------------------------
+# Layer 3: fault-tolerant checkpointing runner
+# --------------------------------------------------------------------------
+
+
+class _FakeResult:
+    def __init__(self, text="fake-report"):
+        self.text = text
+
+    def render(self):
+        return self.text
+
+
+def _experiments(calls):
+    """Two fake experiments that record their invocations."""
+
+    def make(exp_id):
+        def run(factor):
+            calls.append(exp_id)
+            return _FakeResult(f"{exp_id} at factor {factor}")
+
+        return run
+
+    return {"alpha": make("alpha"), "beta": make("beta")}
+
+
+class TestResilientRunner:
+    def test_crash_is_contained_and_reported(self, tmp_path):
+        calls = []
+        plan = FaultPlan().add("alpha", "crash")
+        runner = ResilientRunner(
+            tmp_path / "m.json", fault_plan=plan, backoff=0.0
+        )
+        results, report = runner.run(_experiments(calls), factor=0.5)
+        assert not report.ok
+        assert [o.status for o in report.outcomes] == ["failed", "ok"]
+        assert "injected crash" in report.failed[0].error
+        assert "beta" in results and "alpha" not in results
+
+    def test_transient_fault_retries_with_backoff(self, tmp_path):
+        calls, delays = [], []
+        plan = FaultPlan().add("alpha", "transient", count=2)
+        runner = ResilientRunner(
+            tmp_path / "m.json",
+            fault_plan=plan,
+            retries=2,
+            backoff=0.25,
+            max_backoff=0.4,
+            sleep=delays.append,
+        )
+        _results, report = runner.run(_experiments(calls), factor=1.0)
+        assert report.ok
+        alpha = report.outcomes[0]
+        assert alpha.status == "ok" and alpha.attempts == 3
+        assert delays == [0.25, 0.4]  # exponential, capped at max_backoff
+
+    def test_transient_fault_exhausts_retries(self, tmp_path):
+        calls = []
+        plan = FaultPlan().add("alpha", "transient", count=5)
+        runner = ResilientRunner(
+            tmp_path / "m.json", fault_plan=plan, retries=1, backoff=0.0
+        )
+        _results, report = runner.run(_experiments(calls), factor=1.0)
+        assert report.outcomes[0].status == "failed"
+        assert "TransientFault" in report.outcomes[0].error
+
+    def test_timeout_abandons_hung_experiment(self, tmp_path):
+        def hung(factor):
+            time.sleep(30)
+
+        runner = ResilientRunner(tmp_path / "m.json", timeout=0.05)
+        _results, report = runner.run({"hung": hung, **_experiments([])})
+        hung_outcome = report.outcomes[0]
+        assert hung_outcome.status == "timeout"
+        assert "wall-clock" in hung_outcome.error
+        # The sweep continued past the hung experiment.
+        assert [o.status for o in report.outcomes[1:]] == ["ok", "ok"]
+
+    def test_render_failure_is_contained(self, tmp_path):
+        plan = FaultPlan().add("alpha", "corrupt-result")
+        runner = ResilientRunner(tmp_path / "m.json", fault_plan=plan)
+        _results, report = runner.run(_experiments([]), factor=1.0)
+        assert report.outcomes[0].status == "failed"
+        assert "render" in report.outcomes[0].error
+
+    def test_checkpoint_resume_skips_finished_work(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        calls = []
+        plan = FaultPlan().add("beta", "crash")
+        ResilientRunner(manifest, fault_plan=plan, backoff=0.0).run(
+            _experiments(calls), factor=0.5
+        )
+        assert calls == ["alpha"]
+        # Second invocation: alpha restored from checkpoint, beta re-runs.
+        results, report = ResilientRunner(manifest).run(
+            _experiments(calls), factor=0.5
+        )
+        assert calls == ["alpha", "beta"]  # alpha did NOT re-run
+        assert report.ok
+        assert isinstance(results["alpha"], CheckpointedResult)
+        assert results["alpha"].render() == "alpha at factor 0.5"
+        assert [o.status for o in report.outcomes] == ["checkpointed", "ok"]
+
+    def test_checkpoint_key_includes_factor(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        calls = []
+        ResilientRunner(manifest).run(_experiments(calls), factor=0.5)
+        ResilientRunner(manifest).run(_experiments(calls), factor=0.9)
+        # Different factor -> stale checkpoints are not reused.
+        assert calls == ["alpha", "beta", "alpha", "beta"]
+
+    def test_checkpoint_key_includes_code_hash(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        calls = []
+        ResilientRunner(manifest).run(
+            _experiments(calls), factor=0.5, code_hash="v1"
+        )
+        ResilientRunner(manifest).run(
+            _experiments(calls), factor=0.5, code_hash="v2"
+        )
+        assert calls == ["alpha", "beta", "alpha", "beta"]
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        calls = []
+        ResilientRunner(manifest).run(_experiments(calls), factor=0.5)
+        ResilientRunner(manifest).run(
+            _experiments(calls), factor=0.5, resume=False
+        )
+        assert calls == ["alpha", "beta", "alpha", "beta"]
+
+    def test_corrupt_manifest_starts_fresh(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text("{not json")
+        calls = []
+        _results, report = ResilientRunner(manifest).run(
+            _experiments(calls), factor=0.5
+        )
+        assert report.ok and calls == ["alpha", "beta"]
+        # And the manifest was rewritten valid.
+        assert json.loads(manifest.read_text())["version"] == 1
+
+    def test_unknown_only_ids_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="nonesuch"):
+            ResilientRunner(tmp_path / "m.json").run(
+                _experiments([]), only=["nonesuch"]
+            )
+
+    def test_report_renders_causes(self, tmp_path):
+        plan = FaultPlan().add("alpha", "crash")
+        _results, report = ResilientRunner(
+            tmp_path / "m.json", fault_plan=plan, backoff=0.0
+        ).run(_experiments([]), factor=1.0)
+        text = report.render()
+        assert "1 failed" in text
+        assert "injected crash" in text
+
+    def test_out_dir_gets_text_reports_and_manifest(self, tmp_path):
+        out = tmp_path / "results"
+        ResilientRunner().run(_experiments([]), out_dir=out)
+        assert (out / "alpha.txt").read_text().startswith("alpha at factor")
+        assert (out / "manifest.json").exists()
+
+    def test_fault_spec_validation(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultSpec(kind="explode")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="transient", count=0)
+
+    def test_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+
+class TestRunAllIntegration:
+    """End-to-end through repro.experiments.run_all with real (fast)
+    experiment drivers: the issue's acceptance scenario."""
+
+    def test_injected_crash_then_resume(self, tmp_path):
+        import io
+
+        from repro.experiments.run_all import run_resilient
+
+        out = tmp_path / "results"
+        plan = FaultPlan().add("table2", "crash")
+        stream = io.StringIO()
+        _results, report = run_resilient(
+            factor=0.1,
+            out_dir=str(out),
+            only=["fig1", "table2"],
+            stream=stream,
+            fault_plan=plan,
+            backoff=0.0,
+        )
+        # The crash did not abort the sweep; it is reported with cause.
+        assert not report.ok
+        statuses = {o.exp_id: o.status for o in report.outcomes}
+        assert statuses == {"fig1": "ok", "table2": "failed"}
+        assert "injected crash" in report.failed[0].error
+        assert "sweep report" in stream.getvalue()
+
+        # Second invocation resumes: only the failed experiment re-runs.
+        results2, report2 = run_resilient(
+            factor=0.1,
+            out_dir=str(out),
+            only=["fig1", "table2"],
+            stream=io.StringIO(),
+        )
+        assert report2.ok
+        statuses2 = {o.exp_id: o.status for o in report2.outcomes}
+        assert statuses2 == {"fig1": "checkpointed", "table2": "ok"}
+        assert isinstance(results2["fig1"], CheckpointedResult)
+        assert "Alpha" in results2["fig1"].render()  # real fig1 content
+
+    def test_run_all_back_compat_returns_results(self, tmp_path):
+        import io
+
+        from repro.experiments.run_all import run_all
+
+        results = run_all(
+            factor=0.1, only=["fig1"], stream=io.StringIO()
+        )
+        assert set(results) == {"fig1"}
+        assert "per year" in results["fig1"].render()
+
+    def test_run_all_rejects_bad_factor(self):
+        from repro.experiments.run_all import run_all
+
+        with pytest.raises(ValueError, match="factor"):
+            run_all(factor=0)
