@@ -1,0 +1,79 @@
+"""Parallel-runner bench: serial sweep vs ``jobs=2`` on the same work.
+
+Times the experiment sweep end-to-end through ResilientRunner in both
+modes with a pre-warmed persistent trace cache, so the comparison
+measures execution backends rather than trace construction.  Parallel
+wall time must come in under serial: the experiments are
+timing-simulation bound and the process pool runs them on separate
+cores outside the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.run_all import EXPERIMENTS
+from repro.robustness.runner import ResilientRunner
+
+#: Several comparably-sized experiments, so two workers stay busy.
+SWEEP = ("fig4", "fig5", "table3_4", "hit_rates")
+BENCH_FACTOR = 0.1
+
+
+@pytest.fixture(scope="module")
+def warm_disk_cache(tmp_path_factory):
+    """Route the trace cache to a tmp dir and warm it for the sweep."""
+    from repro.experiments.common import scaled_trace
+    from repro.workloads import trace_cache
+    from repro.workloads.registry import INTEGER_SUITE
+
+    previous = trace_cache._default
+    trace_cache._default = trace_cache.TraceCache(
+        tmp_path_factory.mktemp("bench-trace-cache")
+    )
+    for name in INTEGER_SUITE:
+        scaled_trace(name, BENCH_FACTOR)
+    yield
+    trace_cache._default = previous
+
+
+def _sweep(jobs: int, out_dir) -> float:
+    experiments = {exp_id: EXPERIMENTS[exp_id] for exp_id in SWEEP}
+    runner = ResilientRunner(jobs=jobs)
+    started = time.monotonic()
+    _results, report = runner.run(
+        experiments, factor=BENCH_FACTOR, out_dir=out_dir
+    )
+    wall = time.monotonic() - started
+    assert report.ok
+    return wall
+
+
+def test_parallel_sweep_beats_serial(benchmark, warm_disk_cache, tmp_path):
+    serial_wall = _sweep(jobs=1, out_dir=tmp_path / "serial")
+    parallel_wall = benchmark.pedantic(
+        lambda: _sweep(jobs=2, out_dir=tmp_path / "parallel"),
+        rounds=1,
+        iterations=1,
+    )
+    cores = len(os.sched_getaffinity(0))
+    print()
+    print(
+        f"serial {serial_wall:.2f}s  parallel(jobs=2) {parallel_wall:.2f}s  "
+        f"speedup {serial_wall / parallel_wall:.2f}x  ({cores} core(s))"
+    )
+    # Identical reports, regardless of backend.
+    for exp_id in SWEEP:
+        serial_text = (tmp_path / "serial" / f"{exp_id}.txt").read_text()
+        parallel_text = (tmp_path / "parallel" / f"{exp_id}.txt").read_text()
+        assert serial_text == parallel_text
+    if cores >= 2:
+        # Two workers on >=2 cores must beat the serial sweep outright.
+        assert parallel_wall < serial_wall
+    else:
+        # A single core cannot overlap CPU-bound work; only check that
+        # the process-pool machinery keeps its overhead bounded.
+        assert parallel_wall < serial_wall * 1.35

@@ -35,7 +35,7 @@ from repro.core.processor import (  # noqa: F401
     SimulationResult,
     simulate_trace,
 )
-from repro.core.stats import SimStats, StallKind  # noqa: F401
+from repro.core.stats import InvariantError, SimStats, StallKind  # noqa: F401
 from repro.cost.rbe import (  # noqa: F401
     CostBreakdown,
     fpu_cost,
@@ -102,6 +102,15 @@ def suite_results(
     suite: str = "int",
     scale: int | None = None,
 ) -> dict[str, SimulationResult]:
-    """Run a whole suite ("int" or "fp") on one configuration."""
-    names = INTEGER_SUITE if suite == "int" else FP_SUITE
+    """Run a whole suite ("int" or "fp") on one configuration.
+
+    Raises :class:`ValueError` for any other suite name — a typo used to
+    silently run the FP suite.
+    """
+    if suite == "int":
+        names = INTEGER_SUITE
+    elif suite == "fp":
+        names = FP_SUITE
+    else:
+        raise ValueError(f"unknown suite {suite!r}; expected 'int' or 'fp'")
     return {name: simulate_workload(name, config, scale) for name in names}

@@ -25,11 +25,18 @@ from repro.core.processor import (
     SimulationResult,
     simulate_trace,
 )
-from repro.core.stats import SimStats, StallKind, average_cpi, cpi_range
+from repro.core.stats import (
+    InvariantError,
+    SimStats,
+    StallKind,
+    average_cpi,
+    cpi_range,
+)
 from repro.core.writecache import WriteCache, WriteCacheStats
 
 __all__ = [
     "BIUStats",
+    "InvariantError",
     "BusInterfaceUnit",
     "DirectMappedCache",
     "PipelinedCachePort",

@@ -66,6 +66,9 @@ _FP_DISPATCH_KINDS = _FP_ARITH_KINDS | frozenset(
 FPU_TRANSFER = 2
 #: Extra cycle for a write-cache forward vs. a cache hit (on-chip buffer).
 WC_FORWARD_LATENCY = 2
+#: Entry-count bound on the in-flight D-line fill map; crossing it prunes
+#: entries whose fill has already arrived (never genuinely pending ones).
+INFLIGHT_BOUND = 4096
 
 
 @dataclass
@@ -163,8 +166,11 @@ class AuroraProcessor:
         prev_was_mem = False
 
         inflight: dict[int, int] = {}  # D-line -> fill arrival time
-        redirect_apply_at = -1
-        redirect_floor = 0
+        # Pending front-end redirects: trace index at which the bubble
+        # lands -> earliest fetch cycle for that instruction.  Two taken
+        # branches can be in flight at once (a jump in a jump's delay
+        # slot), so this must hold more than one entry.
+        redirects: dict[int, int] = {}
 
         stall = stats.stall_cycles  # local alias
 
@@ -185,8 +191,10 @@ class AuroraProcessor:
                     arrival = request_time
                 t_fetch = arrival + 1
                 icache.fill(pc, t_fetch)
-            if index == redirect_apply_at and redirect_floor > t_fetch:
-                t_fetch = redirect_floor
+            if redirects:
+                redirect_floor = redirects.pop(index, 0)
+                if redirect_floor > t_fetch:
+                    t_fetch = redirect_floor
 
             # ------------------------------------------------ in-order floor
             if slots_used < issue_width:
@@ -311,8 +319,15 @@ class AuroraProcessor:
                         fill_done = dport.occupy_for_fill(arrival)
                         dcache.fill(addr, fill_done)
                         inflight[line] = arrival
-                        if len(inflight) > 4096:
-                            inflight.clear()
+                        if len(inflight) > INFLIGHT_BOUND:
+                            # Evict only fills that have already arrived;
+                            # wholesale clearing would forget genuinely
+                            # pending lines and double-request them.
+                            inflight = {
+                                fill_line: fill_at
+                                for fill_line, fill_at in inflight.items()
+                                if fill_at > access
+                            }
                     data_ready = arrival + 1
                 if kind == _K_LOAD:
                     mshr.set_release(slot, data_ready)
@@ -362,9 +377,13 @@ class AuroraProcessor:
                         # NEXT field, so the front end redirects only after
                         # the branch/jump executes.  (In-order flow would
                         # have issued the post-delay-slot instruction at
-                        # issue+2; the bubble pushes it to issue+3.)
-                        redirect_apply_at = index + 2
-                        redirect_floor = issue + 3
+                        # issue+2; the bubble pushes it to issue+3.)  A
+                        # redirect already pending for that index (e.g. a
+                        # second taken jump in the first one's shadow)
+                        # keeps the later floor rather than being dropped.
+                        target = index + 2
+                        if issue + 3 > redirects.get(target, 0):
+                            redirects[target] = issue + 3
 
             elif kind in _FP_ARITH_KINDS:
                 stats.fp_instructions += 1

@@ -16,6 +16,15 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 
+class InvariantError(AssertionError):
+    """A :class:`SimStats` sanity relation does not hold.
+
+    Subclasses :class:`AssertionError` for backward compatibility with
+    callers that caught the old bare ``assert`` failures, but is raised
+    explicitly so ``python -O`` cannot strip the checks.
+    """
+
+
 class StallKind(Enum):
     ICACHE = "icache"
     LOAD = "load"
@@ -126,15 +135,56 @@ class SimStats:
         return sum(self.stall_cycles.values())
 
     def check_invariants(self) -> None:
-        """Sanity relations every run must satisfy (used by tests)."""
-        assert self.cycles >= 0 and self.instructions >= 0
-        assert self.icache_hits <= self.icache_accesses
-        assert self.dcache_hits <= self.dcache_accesses
-        assert self.writecache_hits <= self.writecache_accesses
-        assert self.iprefetch_hits <= self.iprefetch_lookups
-        assert self.dprefetch_hits <= self.dprefetch_lookups
-        assert all(value >= 0 for value in self.stall_cycles.values())
-        assert self.total_stall_cycles <= max(self.cycles, 0) * 2
+        """Sanity relations every run must satisfy.
+
+        Raises :class:`InvariantError` (not a bare ``assert``, which
+        ``python -O`` strips to a no-op) so the checks hold in optimised
+        runs too.
+        """
+        relations = (
+            (self.cycles >= 0, f"negative cycles: {self.cycles}"),
+            (
+                self.instructions >= 0,
+                f"negative instructions: {self.instructions}",
+            ),
+            (
+                self.icache_hits <= self.icache_accesses,
+                f"icache hits {self.icache_hits} > "
+                f"accesses {self.icache_accesses}",
+            ),
+            (
+                self.dcache_hits <= self.dcache_accesses,
+                f"dcache hits {self.dcache_hits} > "
+                f"accesses {self.dcache_accesses}",
+            ),
+            (
+                self.writecache_hits <= self.writecache_accesses,
+                f"writecache hits {self.writecache_hits} > "
+                f"accesses {self.writecache_accesses}",
+            ),
+            (
+                self.iprefetch_hits <= self.iprefetch_lookups,
+                f"iprefetch hits {self.iprefetch_hits} > "
+                f"lookups {self.iprefetch_lookups}",
+            ),
+            (
+                self.dprefetch_hits <= self.dprefetch_lookups,
+                f"dprefetch hits {self.dprefetch_hits} > "
+                f"lookups {self.dprefetch_lookups}",
+            ),
+            (
+                all(value >= 0 for value in self.stall_cycles.values()),
+                f"negative stall cycles: {self.stall_cycles}",
+            ),
+            (
+                self.total_stall_cycles <= max(self.cycles, 0) * 2,
+                f"stall cycles {self.total_stall_cycles} exceed "
+                f"2x total cycles {self.cycles}",
+            ),
+        )
+        for holds, what in relations:
+            if not holds:
+                raise InvariantError(f"SimStats invariant violated: {what}")
 
     def summary(self) -> str:
         """Human-readable one-run report."""

@@ -21,7 +21,7 @@ from repro.core.config import (
     MachineConfig,
 )
 from repro.cost.rbe import fpu_cost, ipu_cost
-from repro.experiments.run_all import positive_float
+from repro.experiments.run_all import nonneg_int, positive_float, positive_int
 from repro.workloads.registry import all_specs
 
 _MODELS = {
@@ -85,6 +85,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         manifest=args.manifest,
         timeout=args.timeout,
         retries=args.retries,
+        jobs=args.jobs,
+        use_trace_cache=not args.no_trace_cache,
     )
     return 0 if report.ok else 1
 
@@ -127,8 +129,12 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--only", nargs="*", default=None)
     p_exp.add_argument("--timeout", type=float, default=None,
                        help="per-experiment wall-clock budget (seconds)")
-    p_exp.add_argument("--retries", type=int, default=2,
+    p_exp.add_argument("--retries", type=nonneg_int, default=2,
                        help="retries for transient failures")
+    p_exp.add_argument("--jobs", type=positive_int, default=1,
+                       help="worker processes for parallel execution")
+    p_exp.add_argument("--no-trace-cache", action="store_true",
+                       help="disable the persistent on-disk trace cache")
     p_exp.add_argument("--no-resume", action="store_true",
                        help="ignore the checkpoint manifest")
     p_exp.add_argument("--manifest", default=None,

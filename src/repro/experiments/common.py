@@ -61,7 +61,12 @@ def suite_stats(
     factor: float = 1.0,
 ) -> dict[str, SimStats]:
     """Run every workload in a suite on ``config``; returns per-name stats."""
-    names = INTEGER_SUITE if suite == "int" else FP_SUITE
+    if suite == "int":
+        names = INTEGER_SUITE
+    elif suite == "fp":
+        names = FP_SUITE
+    else:
+        raise ValueError(f"unknown suite {suite!r}; expected 'int' or 'fp'")
     results = {}
     for name in names:
         trace = scaled_trace(name, factor)

@@ -6,9 +6,14 @@ Usage::
                                         [--only fig4 ...] [--timeout 600]
                                         [--retries 2] [--no-resume]
                                         [--manifest path.json]
+                                        [--jobs 4] [--no-trace-cache]
 
 ``--factor`` shrinks every workload to that fraction of its default size
 for faster turnarounds; 1.0 reproduces the shipped EXPERIMENTS.md runs.
+``--jobs N`` runs up to N experiments concurrently in worker processes
+(results and reports are identical to a serial run — see
+docs/PERFORMANCE.md); ``--no-trace-cache`` disables the persistent
+on-disk trace cache for this run.
 
 Execution goes through :class:`repro.robustness.runner.ResilientRunner`:
 each experiment is isolated (a crash or timeout in one no longer aborts
@@ -22,40 +27,49 @@ failed, and a partial-results report always prints.
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
+from dataclasses import dataclass
 
 from repro.robustness.runner import ResilientRunner, RunReport
 from repro.robustness.validation import validate_factor
+from repro.workloads import trace_cache
 
-from repro.experiments import (
-    fig1_clock_trend,
-    fig4_issue,
-    fig5_prefetch,
-    fig6_stalls,
-    fig7_mshr,
-    fig8_design_space,
-    fig9_fpu,
-    hit_rates,
-    prefetch_tables,
-    table2_cost,
-    table6_fpu_issue,
-    writecache_table,
-)
+
+@dataclass(frozen=True)
+class ExperimentDriver:
+    """Picklable experiment callable.
+
+    ``--jobs`` ships these across a process pool, which lambdas cannot
+    survive; a frozen dataclass pickles by value and imports its driver
+    module lazily inside the worker (also what the ``spawn`` start
+    method needs).
+    """
+
+    module: str  # module name under repro.experiments
+    scaled: bool = True  # whether run() accepts a workload-scale factor
+
+    def __call__(self, factor: float):
+        driver = importlib.import_module(f"repro.experiments.{self.module}")
+        if self.scaled:
+            return driver.run(factor=factor)
+        return driver.run()
+
 
 #: experiment id -> callable(factor) -> result with .render()
 EXPERIMENTS = {
-    "fig1": lambda factor: fig1_clock_trend.run(),
-    "table2": lambda factor: table2_cost.run(),
-    "fig4": lambda factor: fig4_issue.run(factor=factor),
-    "table3_4": lambda factor: prefetch_tables.run(factor=factor),
-    "fig5": lambda factor: fig5_prefetch.run(factor=factor),
-    "fig6": lambda factor: fig6_stalls.run(factor=factor),
-    "fig7": lambda factor: fig7_mshr.run(factor=factor),
-    "table5": lambda factor: writecache_table.run(factor=factor),
-    "fig8": lambda factor: fig8_design_space.run(factor=factor),
-    "hit_rates": lambda factor: hit_rates.run(factor=factor),
-    "table6": lambda factor: table6_fpu_issue.run(factor=factor),
-    "fig9": lambda factor: fig9_fpu.run(factor=factor),
+    "fig1": ExperimentDriver("fig1_clock_trend", scaled=False),
+    "table2": ExperimentDriver("table2_cost", scaled=False),
+    "fig4": ExperimentDriver("fig4_issue"),
+    "table3_4": ExperimentDriver("prefetch_tables"),
+    "fig5": ExperimentDriver("fig5_prefetch"),
+    "fig6": ExperimentDriver("fig6_stalls"),
+    "fig7": ExperimentDriver("fig7_mshr"),
+    "table5": ExperimentDriver("writecache_table"),
+    "fig8": ExperimentDriver("fig8_design_space"),
+    "hit_rates": ExperimentDriver("hit_rates"),
+    "table6": ExperimentDriver("table6_fpu_issue"),
+    "fig9": ExperimentDriver("fig9_fpu"),
 }
 
 
@@ -71,6 +85,8 @@ def run_resilient(
     retries: int = 2,
     backoff: float = 0.25,
     fault_plan=None,
+    jobs: int = 1,
+    use_trace_cache: bool = True,
 ) -> tuple[dict[str, object], RunReport]:
     """Run the selected experiments; returns ``(results, report)``.
 
@@ -78,15 +94,21 @@ def run_resilient(
     :class:`~repro.robustness.runner.CheckpointedResult` restored from
     the manifest); ``report`` lists every outcome with causes.  When
     neither ``manifest`` nor ``out_dir`` is given there is nowhere to
-    checkpoint, so every experiment runs fresh.
+    checkpoint, so every experiment runs fresh.  ``jobs > 1`` runs
+    experiments on a process pool; ``use_trace_cache=False`` disables
+    the persistent trace cache for this process (it never force-enables
+    a cache switched off via the environment).
     """
     validate_factor(factor, where="--factor")
+    if not use_trace_cache:
+        trace_cache.set_enabled(False)
     runner = ResilientRunner(
         manifest_path=manifest,
         timeout=timeout,
         retries=retries,
         backoff=backoff,
         fault_plan=fault_plan,
+        jobs=jobs,
     )
     return runner.run(
         EXPERIMENTS,
@@ -124,6 +146,32 @@ def positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def nonneg_int(text: str) -> int:
+    """Argparse type for ``--retries``: integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for ``--jobs``: integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--factor", type=positive_float, default=1.0)
@@ -143,9 +191,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--retries",
-        type=int,
+        type=nonneg_int,
         default=2,
         help="retry attempts for transient failures",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes for parallel experiment execution",
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the persistent on-disk trace cache",
     )
     parser.add_argument(
         "--no-resume",
@@ -166,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         manifest=args.manifest,
         timeout=args.timeout,
         retries=args.retries,
+        jobs=args.jobs,
+        use_trace_cache=not args.no_trace_cache,
     )
     return 0 if report.ok else 1
 

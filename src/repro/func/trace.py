@@ -22,6 +22,7 @@ Unified register-id space (so one scoreboard array covers all namespaces):
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -117,16 +118,54 @@ def compute_stats(trace: list[TraceRecord], line_size: int = 32) -> TraceStats:
     return stats
 
 
+#: On-disk trace archive format version (bump on incompatible layout change).
+TRACE_FILE_VERSION = 1
+
+
+class TraceIOError(ValueError):
+    """A trace archive is missing, malformed, or from a different format."""
+
+
 def save_trace(path: str, trace: list[TraceRecord]) -> None:
-    """Persist a trace as a compressed numpy archive."""
+    """Persist a trace as a compressed, versioned numpy archive."""
     array = np.asarray(trace, dtype=np.int64).reshape(len(trace), 6)
-    np.savez_compressed(path, trace=array)
+    np.savez_compressed(
+        path,
+        trace=array,
+        version=np.int64(TRACE_FILE_VERSION),
+        count=np.int64(len(trace)),
+    )
 
 
 def load_trace(path: str) -> list[TraceRecord]:
-    """Load a trace saved with :func:`save_trace`."""
-    with np.load(path) as archive:
-        array = archive["trace"]
+    """Load a trace saved with :func:`save_trace`.
+
+    Raises :class:`TraceIOError` on unreadable files, a version mismatch,
+    or a malformed record array — callers (the persistent trace cache)
+    treat that as a miss rather than feeding garbage to the timing model.
+    """
+    try:
+        with np.load(path) as archive:
+            names = set(archive.files)
+            version = int(archive["version"]) if "version" in names else None
+            array = archive["trace"] if "trace" in names else None
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as error:
+        raise TraceIOError(f"{path}: unreadable trace archive: {error}") from None
+    if array is None:
+        raise TraceIOError(f"{path}: no 'trace' array in archive")
+    if version is not None and version != TRACE_FILE_VERSION:
+        raise TraceIOError(
+            f"{path}: trace format version {version}, "
+            f"expected {TRACE_FILE_VERSION}"
+        )
+    if array.ndim != 2 or (array.size and array.shape[1] != 6):
+        raise TraceIOError(
+            f"{path}: trace array has shape {array.shape}, expected (n, 6)"
+        )
+    if not np.issubdtype(array.dtype, np.integer):
+        raise TraceIOError(
+            f"{path}: trace array dtype {array.dtype} is not integral"
+        )
     return [tuple(int(v) for v in row) for row in array]
 
 

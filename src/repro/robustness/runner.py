@@ -4,10 +4,17 @@
 finished experiment and a hung one blocked the sweep forever.
 :class:`ResilientRunner` replaces that with:
 
-* **Isolation** — each experiment runs in its own worker thread; any
-  exception (including in ``render()``) is contained and recorded, and a
-  per-experiment wall-clock timeout abandons hung runs instead of
-  blocking the sweep.
+* **Isolation** — each experiment runs in a worker; any exception
+  (including in ``render()``) is contained and recorded, and a
+  per-experiment wall-clock timeout stops hung runs instead of blocking
+  the sweep.
+* **Parallelism** — with ``jobs > 1`` experiments run in worker
+  *processes* (a ``concurrent.futures.ProcessPoolExecutor``): true
+  multi-core execution outside the GIL, hard timeout enforcement (the
+  worker process is killed, not abandoned), and containment of
+  segfault-class worker deaths.  ``jobs=1`` (the default) keeps the
+  serial in-process path, where a timeout can only *abandon* the worker
+  thread (it keeps burning CPU — threads cannot be killed).
 * **Retry** — failures classified as transient (by default
   :class:`~repro.robustness.faults.TransientFault` and :class:`OSError`)
   are retried with bounded exponential backoff; permanent failures are
@@ -19,34 +26,58 @@ finished experiment and a hung one blocked the sweep forever.
   key, so stale results are never reused.
 * **Partial-results report** — the runner always finishes and emits a
   :class:`RunReport` listing succeeded / failed / checkpoint-skipped
-  experiments with their causes.
+  experiments with their causes, per-experiment wall time, the worker
+  that ran each one, and persistent trace-cache hit/miss counts (see
+  :mod:`repro.workloads.trace_cache`).
 
-Manifest format (``version`` 1)::
+Manifest format (``version`` 1; the three observability keys were added
+later — absent in old manifests, ignored by old readers)::
 
     {"version": 1,
      "entries": {"fig4": {"key": "fig4|factor=0.1|code=<hash>",
                           "status": "ok",
                           "elapsed": 12.3,
                           "completed_at": 1722950000.0,
+                          "worker": "pid-4242",
+                          "trace_cache_hits": 15,
+                          "trace_cache_misses": 0,
                           "text": "<rendered report>"}}}
 
 Deterministic fault injection (:class:`~repro.robustness.faults.FaultPlan`)
 hooks in between the runner and the experiment callables, which is how the
-tests exercise every path above without flaky sleeps.
+tests exercise every path above without flaky sleeps.  In process mode
+the same fault specs are replayed by a picklable shim
+(:class:`_InjectedFault`) with the attempt counter tracked in the parent.
+
+Worker-death attribution.  When a worker process dies (segfault, OOM
+kill, ``SIGKILL``), ``ProcessPoolExecutor`` breaks the *whole* pool and
+fails every in-flight future, so the culprit cannot be identified
+directly.  The runner rebuilds the pool, resubmits experiments that were
+still queued, and re-runs the ones that were actually executing through
+a single-worker quarantine pool, one at a time: if the quarantine pool
+breaks too, the experiment running in it is the culprit and is marked
+failed; innocent bystanders complete normally.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import functools
 import hashlib
 import json
+import multiprocessing
+import os
 import pathlib
+import pickle
 import threading
 import time
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.robustness.faults import FaultPlan, TransientFault
+from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
+from repro.workloads import trace_cache
 
 MANIFEST_VERSION = 1
 #: Default manifest location (relative to ``out_dir`` when one is given).
@@ -77,6 +108,11 @@ class ExperimentOutcome:
     attempts: int = 0
     elapsed: float = 0.0
     error: str | None = None
+    #: Who executed the final attempt: "main" (serial path) or "pid-<n>".
+    worker: str = "main"
+    #: Persistent trace-cache hits/misses attributed to this experiment.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -116,7 +152,12 @@ class RunReport:
             line = f"  {outcome.exp_id:<10} {outcome.status:<13}"
             if outcome.status == "ok":
                 line += f"{outcome.elapsed:7.1f}s  ({outcome.attempts} attempt"
-                line += "s)" if outcome.attempts != 1 else ")"
+                line += "s" if outcome.attempts != 1 else ""
+                line += f", {outcome.worker}"
+                line += (
+                    f", trace-cache {outcome.cache_hits}h/"
+                    f"{outcome.cache_misses}m)"
+                )
             elif outcome.error:
                 line += f" {outcome.error}"
             lines.append(line)
@@ -143,6 +184,104 @@ def _default_is_transient(error: BaseException) -> bool:
     return isinstance(error, (TransientFault, OSError))
 
 
+# --------------------------------------------------------- process workers
+#
+# Everything a ProcessPoolExecutor ships to a worker must pickle, so the
+# worker entry points live at module level and fault injection uses the
+# picklable _InjectedFault shim instead of FaultPlan.wrap's closure.
+
+
+def _start_method(requested: str | None) -> str:
+    """Multiprocessing start method: explicit choice, else fork, else spawn.
+
+    Fork is preferred where available — it inherits the imported
+    simulator modules for free instead of re-importing them per worker.
+    """
+    if requested is not None:
+        return requested
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _pool_initializer(
+    cache_root: str, cache_enabled: bool, cache_max_entries: int
+) -> None:
+    """Point the worker's process-wide trace cache at the parent's."""
+    trace_cache.configure(
+        cache_root, enabled=cache_enabled, max_entries=cache_max_entries
+    )
+
+
+def _pool_worker(fn, factor: float) -> dict:
+    """Run one experiment attempt in a worker process.
+
+    Returns a picklable envelope instead of raising: exceptions are
+    shipped to the parent for retry classification, and results that do
+    not pickle degrade to their rendered text.
+    """
+    base_hits, base_misses = trace_cache.snapshot()
+    started = time.monotonic()
+
+    def _envelope(payload: dict) -> dict:
+        hits, misses = trace_cache.snapshot()
+        payload.update(
+            wall=time.monotonic() - started,
+            pid=os.getpid(),
+            cache_hits=hits - base_hits,
+            cache_misses=misses - base_misses,
+        )
+        return payload
+
+    try:
+        result = fn(factor)
+        text = result.render()
+    except BaseException as error:  # noqa: BLE001 - shipped to the parent
+        try:
+            pickle.dumps(error)
+        except Exception:  # noqa: BLE001 - unpicklable exception
+            error = RuntimeError(f"{type(error).__name__}: {error}")
+        return _envelope({"ok": False, "error": error})
+    try:
+        pickle.dumps(result)
+    except Exception:  # noqa: BLE001 - unpicklable result
+        result = None  # the parent substitutes a text-only stand-in
+    return _envelope({"ok": True, "text": text, "result": result})
+
+
+class _InjectedFault:
+    """Picklable mirror of :meth:`FaultPlan.wrap` for process workers.
+
+    The closure returned by ``wrap`` cannot cross a process boundary and
+    worker-side attempt counters would reset with every retry, so the
+    parent passes the attempt number in explicitly.
+    """
+
+    def __init__(self, fn, exp_id: str, spec, attempt: int) -> None:
+        self.fn = fn
+        self.exp_id = exp_id
+        self.spec = spec
+        self.attempt = attempt
+
+    def __call__(self, factor: float):
+        spec = self.spec
+        if spec.kind == "crash":
+            raise RuntimeError(
+                f"injected crash in experiment {self.exp_id!r} "
+                f"(attempt {self.attempt})"
+            )
+        if spec.kind == "transient" and self.attempt <= spec.count:
+            raise TransientFault(
+                f"injected transient fault in experiment {self.exp_id!r} "
+                f"(attempt {self.attempt}/{spec.count})"
+            )
+        if spec.kind == "timeout":
+            time.sleep(spec.seconds)
+        result = self.fn(factor)
+        if spec.kind == "corrupt-result":
+            return _CorruptResult()
+        return result
+
+
 class ResilientRunner:
     """Run a mapping of experiments fault-tolerantly (see module docs)."""
 
@@ -158,6 +297,8 @@ class ResilientRunner:
         is_transient: Callable[[BaseException], bool] = _default_is_transient,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        jobs: int = 1,
+        mp_context: str | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -165,6 +306,8 @@ class ResilientRunner:
             raise ValueError("timeout must be > 0 (or None)")
         if backoff < 0 or max_backoff < 0:
             raise ValueError("backoff values must be >= 0")
+        if not isinstance(jobs, int) or jobs < 1:
+            raise ValueError(f"jobs must be an int >= 1, got {jobs!r}")
         self.manifest_path = (
             pathlib.Path(manifest_path) if manifest_path else None
         )
@@ -174,6 +317,8 @@ class ResilientRunner:
         self.max_backoff = max_backoff
         self.fault_plan = fault_plan
         self.is_transient = is_transient
+        self.jobs = jobs
+        self.mp_context = mp_context
         self._sleep = sleep
         self._clock = clock
 
@@ -211,29 +356,48 @@ class ResilientRunner:
             manifest_path = out_path / MANIFEST_NAME
         entries = self._load_manifest(manifest_path) if resume else {}
 
+        selected = [
+            (exp_id, fn)
+            for exp_id, fn in experiments.items()
+            if not only or exp_id in only
+        ]
+        keys = {
+            exp_id: self._key(exp_id, factor, code_hash)
+            for exp_id, _fn in selected
+        }
         results: dict[str, object] = {}
-        report = RunReport()
-        for exp_id, runner_fn in experiments.items():
-            if only and exp_id not in only:
-                continue
-            key = self._key(exp_id, factor, code_hash)
+        outcomes: dict[str, ExperimentOutcome] = {}
+
+        todo: list[tuple[str, Callable[[float], object]]] = []
+        for exp_id, runner_fn in selected:
             entry = entries.get(exp_id)
-            if entry and entry.get("key") == key and entry.get("status") == "ok":
+            if (
+                entry
+                and entry.get("key") == keys[exp_id]
+                and entry.get("status") == "ok"
+            ):
                 results[exp_id] = CheckpointedResult(exp_id, entry.get("text", ""))
-                report.outcomes.append(
-                    ExperimentOutcome(exp_id, "checkpointed")
-                )
+                outcomes[exp_id] = ExperimentOutcome(exp_id, "checkpointed")
                 self._emit(stream, exp_id, "checkpointed", entry.get("text", ""))
-                continue
-            outcome, text, result = self._run_one(exp_id, runner_fn, factor)
-            report.outcomes.append(outcome)
+            else:
+                todo.append((exp_id, runner_fn))
+
+        def finish(exp_id, outcome, text, result):
+            """Record one finished experiment (shared by both backends)."""
+            outcomes[exp_id] = outcome
             if outcome.status == "ok":
+                if result is None:
+                    # Parallel result that did not survive pickling.
+                    result = CheckpointedResult(exp_id, text)
                 results[exp_id] = result
                 entries[exp_id] = {
-                    "key": key,
+                    "key": keys[exp_id],
                     "status": "ok",
                     "elapsed": outcome.elapsed,
                     "completed_at": time.time(),
+                    "worker": outcome.worker,
+                    "trace_cache_hits": outcome.cache_hits,
+                    "trace_cache_misses": outcome.cache_misses,
                     "text": text,
                 }
                 if out_path:
@@ -247,7 +411,8 @@ class ResilientRunner:
                 )
             else:
                 # Drop any stale checkpoint for a now-failing experiment.
-                if entry is not None and entry.get("key") != key:
+                stale = entries.get(exp_id)
+                if stale is not None and stale.get("key") != keys[exp_id]:
                     entries.pop(exp_id, None)
                     self._save_manifest(manifest_path, entries)
                 self._emit(
@@ -256,6 +421,20 @@ class ResilientRunner:
                     f"{outcome.status}: {outcome.error}",
                     None,
                 )
+
+        if todo:
+            if self.jobs == 1:
+                for exp_id, runner_fn in todo:
+                    outcome, text, result = self._run_one(
+                        exp_id, runner_fn, factor
+                    )
+                    finish(exp_id, outcome, text, result)
+            else:
+                self._run_pool(todo, factor, finish)
+
+        # Canonical report order: the experiments mapping, regardless of
+        # parallel completion order — serial and parallel reports match.
+        report = RunReport(outcomes=[outcomes[e] for e, _fn in selected])
         if stream is not None:
             print(report.render(), file=stream)
         return results, report
@@ -269,22 +448,43 @@ class ResilientRunner:
             fn = self.fault_plan.wrap(exp_id, fn)
         attempts = 0
         started = self._clock()
+        base_hits, base_misses = trace_cache.snapshot()
+
+        def cache_delta() -> tuple[int, int]:
+            hits, misses = trace_cache.snapshot()
+            return hits - base_hits, misses - base_misses
+
         while True:
             attempts += 1
             try:
                 result = self._call_with_timeout(exp_id, fn, factor)
                 text = result.render()
                 elapsed = self._clock() - started
+                hits, misses = cache_delta()
                 return (
-                    ExperimentOutcome(exp_id, "ok", attempts, elapsed),
+                    ExperimentOutcome(
+                        exp_id,
+                        "ok",
+                        attempts,
+                        elapsed,
+                        cache_hits=hits,
+                        cache_misses=misses,
+                    ),
                     text,
                     result,
                 )
             except ExperimentTimeout as error:
                 elapsed = self._clock() - started
+                hits, misses = cache_delta()
                 return (
                     ExperimentOutcome(
-                        exp_id, "timeout", attempts, elapsed, str(error)
+                        exp_id,
+                        "timeout",
+                        attempts,
+                        elapsed,
+                        str(error),
+                        cache_hits=hits,
+                        cache_misses=misses,
                     ),
                     None,
                     None,
@@ -299,9 +499,16 @@ class ResilientRunner:
                     continue
                 elapsed = self._clock() - started
                 cause = f"{type(error).__name__}: {error}"
+                hits, misses = cache_delta()
                 return (
                     ExperimentOutcome(
-                        exp_id, "failed", attempts, elapsed, cause
+                        exp_id,
+                        "failed",
+                        attempts,
+                        elapsed,
+                        cause,
+                        cache_hits=hits,
+                        cache_misses=misses,
                     ),
                     None,
                     None,
@@ -332,6 +539,279 @@ class ResilientRunner:
         if "error" in box:
             raise box["error"]
         return box["value"]
+
+    # ---------------------------------------------------------- process pool
+
+    def _run_pool(self, todo, factor, finish):
+        """Run ``todo`` on a process pool (see module docs for semantics).
+
+        The single-threaded event loop below owns all bookkeeping;
+        workers only ever see ``_pool_worker`` and return envelopes, so
+        there is no shared mutable state to lock.
+        """
+        fns = dict(todo)
+        attempts = {exp_id: 0 for exp_id in fns}
+        started_at: dict[str, float] = {}
+        #: first time each experiment was *observed* executing — the
+        #: timeout basis, and the "suspect" test after a pool break.
+        first_running: dict[str, float] = {}
+        waiting: list[tuple[float, str]] = []  # backoff retries (resume_at)
+        quarantine: deque = deque()
+        solo_busy = False
+
+        cache = trace_cache.default_cache()
+        ctx = multiprocessing.get_context(_start_method(self.mp_context))
+        initargs = (str(cache.root), cache.enabled, cache.max_entries)
+
+        def new_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+            return concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_pool_initializer,
+                initargs=initargs,
+            )
+
+        pools: dict[str, concurrent.futures.ProcessPoolExecutor] = {
+            "main": new_pool(min(self.jobs, len(todo)))
+        }
+        future_home: dict[concurrent.futures.Future, tuple[str, str]] = {}
+
+        def submit(exp_id: str, pool_name: str, count_attempt: bool = True):
+            fn = fns[exp_id]
+            if count_attempt:
+                attempts[exp_id] += 1
+            started_at.setdefault(exp_id, self._clock())
+            if self.fault_plan is not None:
+                spec = self.fault_plan.faults.get(exp_id)
+                if spec is not None:
+                    # Keep the plan's observable counters in sync even
+                    # though the fault itself fires in the worker.
+                    self.fault_plan.attempts[exp_id] = attempts[exp_id]
+                    fn = _InjectedFault(fn, exp_id, spec, attempts[exp_id])
+            future = pools[pool_name].submit(_pool_worker, fn, factor)
+            future_home[future] = (pool_name, exp_id)
+
+        def pop_pool_futures(pool_name: str) -> list[str]:
+            doomed = [
+                f for f, (p, _e) in future_home.items() if p == pool_name
+            ]
+            return [future_home.pop(f)[1] for f in doomed]
+
+        try:
+            for exp_id, _fn in todo:
+                submit(exp_id, "main")
+            while future_home or waiting or quarantine:
+                now = self._clock()
+                due = [w for w in waiting if w[0] <= now]
+                if due:
+                    waiting = [w for w in waiting if w[0] > now]
+                    for _at, exp_id in due:
+                        submit(exp_id, "main")
+                if quarantine and not solo_busy:
+                    if "solo" not in pools:
+                        pools["solo"] = new_pool(1)
+                    submit(quarantine.popleft(), "solo", count_attempt=False)
+                    solo_busy = True
+                if not future_home:
+                    # Only a pending backoff retry remains; sleep it out.
+                    if waiting:
+                        self._sleep(
+                            max(0.0, min(at for at, _e in waiting) - now)
+                        )
+                    continue
+                # Poll (rather than block) whenever a deadline could pass.
+                poll = 0.05 if (self.timeout is not None or waiting) else None
+                done, _pending = concurrent.futures.wait(
+                    set(future_home),
+                    timeout=poll,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = self._clock()
+                for future, (_pool, exp_id) in future_home.items():
+                    if future not in done and future.running():
+                        first_running.setdefault(exp_id, now)
+                broken: dict[str, None] = {}
+                for future in done:
+                    pool_name, exp_id = future_home.pop(future)
+                    if pool_name == "solo":
+                        solo_busy = False
+                    try:
+                        envelope = future.result()
+                    except BrokenProcessPool:
+                        broken[pool_name] = None
+                        # Re-attach: the pool sweep below collects every
+                        # future of the broken pool in one place.
+                        future_home[future] = (pool_name, exp_id)
+                        continue
+                    except concurrent.futures.CancelledError:
+                        continue
+                    except BaseException as error:  # noqa: BLE001
+                        # e.g. the callable failed to pickle at submit time
+                        first_running.pop(exp_id, None)
+                        finish(
+                            exp_id,
+                            ExperimentOutcome(
+                                exp_id,
+                                "failed",
+                                attempts[exp_id],
+                                now - started_at.pop(exp_id, now),
+                                f"{type(error).__name__}: {error}",
+                            ),
+                            None,
+                            None,
+                        )
+                        continue
+                    elapsed = now - started_at.get(exp_id, now)
+                    worker = f"pid-{envelope['pid']}"
+                    if envelope["ok"]:
+                        first_running.pop(exp_id, None)
+                        started_at.pop(exp_id, None)
+                        finish(
+                            exp_id,
+                            ExperimentOutcome(
+                                exp_id,
+                                "ok",
+                                attempts[exp_id],
+                                elapsed,
+                                worker=worker,
+                                cache_hits=envelope["cache_hits"],
+                                cache_misses=envelope["cache_misses"],
+                            ),
+                            envelope["text"],
+                            envelope["result"],
+                        )
+                        continue
+                    error = envelope["error"]
+                    if (
+                        self.is_transient(error)
+                        and attempts[exp_id] <= self.retries
+                    ):
+                        first_running.pop(exp_id, None)
+                        delay = min(
+                            self.backoff * (2 ** (attempts[exp_id] - 1)),
+                            self.max_backoff,
+                        )
+                        waiting.append((now + delay, exp_id))
+                        continue
+                    first_running.pop(exp_id, None)
+                    started_at.pop(exp_id, None)
+                    finish(
+                        exp_id,
+                        ExperimentOutcome(
+                            exp_id,
+                            "failed",
+                            attempts[exp_id],
+                            elapsed,
+                            f"{type(error).__name__}: {error}",
+                            worker=worker,
+                            cache_hits=envelope["cache_hits"],
+                            cache_misses=envelope["cache_misses"],
+                        ),
+                        None,
+                        None,
+                    )
+                for pool_name in broken:
+                    affected = pop_pool_futures(pool_name)
+                    self._teardown(pools.pop(pool_name, None))
+                    if pool_name == "solo":
+                        # One worker, one experiment: the culprit is known.
+                        solo_busy = False
+                        for exp_id in affected:
+                            first_running.pop(exp_id, None)
+                            finish(
+                                exp_id,
+                                ExperimentOutcome(
+                                    exp_id,
+                                    "failed",
+                                    attempts[exp_id],
+                                    now - started_at.pop(exp_id, now),
+                                    "worker process died (crash or kill) "
+                                    "while running this experiment",
+                                ),
+                                None,
+                                None,
+                            )
+                        continue
+                    # Experiments observed executing when the pool broke
+                    # are suspects — re-run them one at a time in the
+                    # quarantine pool so a repeat death convicts exactly
+                    # one.  Queued bystanders just resubmit.
+                    suspects = [e for e in affected if e in first_running]
+                    innocents = [e for e in affected if e not in first_running]
+                    if not suspects:
+                        suspects, innocents = affected, []
+                    for exp_id in suspects:
+                        first_running.pop(exp_id, None)
+                        quarantine.append(exp_id)
+                    pools["main"] = new_pool(min(self.jobs, len(todo)))
+                    for exp_id in innocents:
+                        submit(exp_id, "main", count_attempt=False)
+                if self.timeout is not None:
+                    now = self._clock()
+                    expired: dict[str, list[str]] = {}
+                    for _future, (pool_name, exp_id) in future_home.items():
+                        ran_at = first_running.get(exp_id)
+                        if ran_at is not None and now - ran_at >= self.timeout:
+                            expired.setdefault(pool_name, []).append(exp_id)
+                    for pool_name, victims in expired.items():
+                        # Hard enforcement: kill the whole pool (worker
+                        # identity is opaque), fail the victims, resubmit
+                        # innocent co-tenants.
+                        affected = pop_pool_futures(pool_name)
+                        self._teardown(pools.pop(pool_name, None))
+                        if pool_name == "solo":
+                            solo_busy = False
+                        else:
+                            pools["main"] = new_pool(
+                                min(self.jobs, len(todo))
+                            )
+                        for exp_id in affected:
+                            first_running.pop(exp_id, None)
+                            if exp_id in victims:
+                                finish(
+                                    exp_id,
+                                    ExperimentOutcome(
+                                        exp_id,
+                                        "timeout",
+                                        attempts[exp_id],
+                                        now - started_at.pop(exp_id, now),
+                                        f"experiment {exp_id!r} exceeded "
+                                        f"{self.timeout:g}s wall-clock "
+                                        "budget; worker process killed",
+                                    ),
+                                    None,
+                                    None,
+                                )
+                            elif pool_name == "solo":
+                                quarantine.append(exp_id)
+                            else:
+                                submit(exp_id, "main", count_attempt=False)
+        finally:
+            for executor in pools.values():
+                self._teardown(executor)
+
+    @staticmethod
+    def _teardown(executor) -> None:
+        """Kill an executor's worker processes and discard it.
+
+        ``_processes`` is private but has been the worker registry of
+        ``ProcessPoolExecutor`` since 3.2; killing through it is the only
+        way to stop a wedged worker (``shutdown`` only ever waits).
+        """
+        if executor is None:
+            return
+        processes = list((getattr(executor, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.join(timeout=1.0)
+            except Exception:  # noqa: BLE001 - reaped elsewhere
+                pass
 
     @staticmethod
     def _key(exp_id: str, factor: float, code_hash: str) -> str:

@@ -3,7 +3,11 @@
 Each kernel module registers a builder with :func:`workload`; users get
 programs and traces through :func:`build_program` / :func:`get_trace`.
 Traces are memoised per ``(name, scale)`` because the experiment drivers
-time the same trace on dozens of machine configurations.
+time the same trace on dozens of machine configurations; behind the
+memo sits the persistent disk tier of
+:mod:`repro.workloads.trace_cache`, so fresh processes (repeat CLI runs,
+process-pool workers) load traces instead of re-running the functional
+simulator.  Lookup order: memory -> disk -> build (and populate both).
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Callable
 from repro.func.machine import run_program
 from repro.func.trace import TraceRecord
 from repro.isa.program import Program
+from repro.workloads import trace_cache
 
 #: SPECint92 benchmarks used in the paper's integer studies (Tables 3-5).
 INTEGER_SUITE = ("espresso", "li", "eqntott", "compress", "sc", "gcc")
@@ -96,20 +101,25 @@ def build_program(name: str, scale: int | None = None) -> Program:
 
 
 def get_trace(name: str, scale: int | None = None) -> list[TraceRecord]:
-    """Dynamic trace for the named kernel (memoised)."""
+    """Dynamic trace for the named kernel (memory -> disk -> build)."""
     spec = get_spec(name)
     effective = scale if scale is not None else spec.default_scale
     key = (name, effective)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        program = spec.builder(effective)
-        result = run_program(program, max_instructions=50_000_000)
-        trace = result.trace
+        disk = trace_cache.default_cache()
+        trace = disk.load(name, effective)
+        if trace is None:
+            program = spec.builder(effective)
+            result = run_program(program, max_instructions=50_000_000)
+            trace = result.trace
+            disk.store(name, effective, trace)
         _TRACE_CACHE[key] = trace
     return trace
 
 
 def clear_trace_cache() -> None:
+    """Drop the in-memory trace memo (the disk tier is untouched)."""
     _TRACE_CACHE.clear()
 
 

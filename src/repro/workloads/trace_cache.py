@@ -1,0 +1,222 @@
+"""Persistent on-disk trace cache.
+
+The in-memory ``(name, scale)`` memo in :mod:`repro.workloads.registry`
+dies with the process, so every fresh CLI run — and every process-pool
+worker — used to re-execute the functional simulator for every workload
+it touched.  This module gives traces a second, durable tier: compact
+numpy archives under ``results/.trace_cache/`` (override with
+``$REPRO_TRACE_CACHE_DIR``; disable with ``$REPRO_TRACE_CACHE=off`` or
+``--no-trace-cache``).
+
+Invalidation key.  A cache file is named
+``<workload>-s<scale>-<fingerprint>.npz`` where the fingerprint hashes
+every ``.py`` source file of the packages that determine trace content —
+``repro.isa`` (encoding), ``repro.func`` (functional execution) and
+``repro.workloads`` (the kernel builders).  Editing any of them changes
+the fingerprint, so stale traces are never loaded; they linger only
+until eviction.  Timing-model changes (``repro.core``) deliberately do
+NOT invalidate traces: a trace is pure architecture, not timing.
+
+Determinism.  Kernel builders and the functional simulator are
+deterministic functions of ``(name, scale)``, so a cached trace is
+byte-identical to a rebuilt one; caching can change wall time but never
+simulation results.
+
+Eviction.  The cache holds at most ``max_entries`` files; inserting past
+the bound deletes the oldest files by modification time.  Corrupt or
+format-incompatible files are treated as misses and deleted on contact.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import pathlib
+import tempfile
+
+from repro.func.trace import TraceIOError, TraceRecord, load_trace, save_trace
+
+#: Default cache location (relative to the working directory).
+DEFAULT_ROOT = pathlib.Path("results") / ".trace_cache"
+#: Default bound on the number of cached trace files.
+DEFAULT_MAX_ENTRIES = 128
+
+#: Environment overrides (read once per process at first use).
+ENV_DIR = "REPRO_TRACE_CACHE_DIR"
+ENV_SWITCH = "REPRO_TRACE_CACHE"
+_OFF_VALUES = ("0", "off", "no", "false", "disabled")
+
+
+@functools.lru_cache(maxsize=1)
+def trace_fingerprint() -> str:
+    """Hash of every source file that determines trace *content*.
+
+    Covers ``repro.isa``, ``repro.func`` and ``repro.workloads``; the
+    timing models in ``repro.core`` are excluded on purpose — they
+    consume traces but cannot change them.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for subpackage in ("isa", "func", "workloads"):
+        for path in sorted((package_root / subpackage).rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class TraceCache:
+    """One on-disk trace cache directory (see module docs).
+
+    ``hits`` / ``misses`` / ``stores`` count disk lookups in this
+    process; the experiment runner snapshots them around each experiment
+    so cache behaviour is visible in its :class:`RunReport`.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        enabled: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.root = pathlib.Path(root) if root is not None else DEFAULT_ROOT
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------- paths
+
+    def path_for(self, name: str, scale: int) -> pathlib.Path:
+        return self.root / f"{name}-s{scale}-{trace_fingerprint()}.npz"
+
+    # ------------------------------------------------------------ lookup
+
+    def load(self, name: str, scale: int) -> list[TraceRecord] | None:
+        """Cached trace for ``(name, scale)``, or None (counted as a miss).
+
+        A disabled cache always misses.  A corrupt or stale-format file
+        is deleted and counted as a miss.
+        """
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self.path_for(name, scale)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            trace = load_trace(path)
+        except TraceIOError:
+            # Unreadable entry: drop it so it cannot poison later runs.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store(self, name: str, scale: int, trace: list[TraceRecord]) -> None:
+        """Persist ``trace`` atomically, then enforce the eviction bound.
+
+        Never raises on I/O failure — a read-only or full disk degrades
+        to an unpopulated cache, not a failed experiment.
+        """
+        if not self.enabled:
+            return
+        path = self.path_for(name, scale)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=path.stem, suffix=".tmp"
+            )
+            os.close(fd)
+            try:
+                save_trace(tmp_name, trace)
+                # numpy appends .npz when the target lacks the suffix
+                tmp = pathlib.Path(tmp_name + ".npz")
+                tmp.replace(path)
+            finally:
+                pathlib.Path(tmp_name).unlink(missing_ok=True)
+        except OSError:
+            return
+        self.stores += 1
+        self._evict()
+
+    # ---------------------------------------------------------- eviction
+
+    def _evict(self) -> None:
+        """Delete the oldest files (by mtime) beyond ``max_entries``."""
+        try:
+            files = [
+                (entry.stat().st_mtime, entry)
+                for entry in self.root.glob("*.npz")
+            ]
+        except OSError:
+            return
+        excess = len(files) - self.max_entries
+        if excess <= 0:
+            return
+        files.sort(key=lambda pair: pair[0])
+        for _mtime, stale in files[:excess]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Delete every cache file (the directory itself stays)."""
+        if not self.root.is_dir():
+            return
+        for entry in self.root.glob("*.npz"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
+    def snapshot(self) -> tuple[int, int]:
+        """(hits, misses) so far — for delta accounting around a run."""
+        return (self.hits, self.misses)
+
+
+# ---------------------------------------------------------------- default
+
+_default: TraceCache | None = None
+
+
+def default_cache() -> TraceCache:
+    """The process-wide cache (created from the environment on first use)."""
+    global _default
+    if _default is None:
+        root = os.environ.get(ENV_DIR) or DEFAULT_ROOT
+        enabled = os.environ.get(ENV_SWITCH, "").lower() not in _OFF_VALUES
+        _default = TraceCache(root, enabled=enabled)
+    return _default
+
+
+def configure(
+    root: str | pathlib.Path | None = None,
+    *,
+    enabled: bool = True,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+) -> TraceCache:
+    """Replace the process-wide cache (tests; process-pool workers)."""
+    global _default
+    _default = TraceCache(root, enabled=enabled, max_entries=max_entries)
+    return _default
+
+
+def set_enabled(enabled: bool) -> None:
+    """Flip the process-wide cache on or off (``--no-trace-cache``)."""
+    default_cache().enabled = enabled
+
+
+def snapshot() -> tuple[int, int]:
+    """(hits, misses) of the process-wide cache."""
+    return default_cache().snapshot()

@@ -7,6 +7,22 @@ import pytest
 from repro.core.config import baseline_model, large_model, small_model
 from repro.func.machine import run_program
 from repro.isa.assembler import Assembler
+from repro.workloads import trace_cache
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trace_cache(tmp_path_factory):
+    """Keep the persistent trace cache out of the repo during tests.
+
+    Tests still exercise the disk tier (it is enabled), but under a
+    session tmp dir instead of results/.trace_cache/.  Worker processes
+    spawned by the parallel runner inherit this root via the pool
+    initializer.
+    """
+    root = tmp_path_factory.mktemp("trace-cache")
+    trace_cache.configure(root)
+    yield
+    trace_cache.configure(None)
 
 
 def build_counting_loop(iterations: int = 64, body_nops: int = 0):

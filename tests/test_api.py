@@ -37,6 +37,16 @@ class TestPublicApi:
         results = suite_results(repro.BASELINE, suite="int", scale=None)
         assert set(results) == set(repro.INTEGER_SUITE)
 
+    def test_suite_results_fp(self):
+        results = suite_results(repro.BASELINE, suite="fp", scale=16)
+        assert set(results) == set(repro.FP_SUITE)
+
+    def test_suite_results_rejects_unknown_suite(self):
+        # Regression: any non-"int" suite name used to silently run the
+        # FP suite, so e.g. suite="integer" returned the wrong results.
+        with pytest.raises(ValueError, match="unknown suite 'integer'"):
+            suite_results(repro.BASELINE, suite="integer")
+
 
 class TestCli:
     def test_list(self, capsys):

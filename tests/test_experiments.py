@@ -24,6 +24,16 @@ from repro.core.stats import StallKind
 FACTOR = 0.3
 
 
+class TestSuiteStats:
+    def test_rejects_unknown_suite(self):
+        # Regression: any non-"int" name silently ran the FP suite.
+        from repro.core.config import BASELINE
+        from repro.experiments.common import suite_stats
+
+        with pytest.raises(ValueError, match="unknown suite"):
+            suite_stats(BASELINE, suite="integer", factor=0.1)
+
+
 @pytest.fixture(scope="module")
 def fig4_result():
     return fig4_issue.run(latencies=(17, 35), factor=FACTOR)

@@ -200,6 +200,88 @@ class TestFetchSide:
         stats = simulate_trace(trace, BASELINE.single_issue()).stats
         assert stats.cpi > 1.0  # the redirect bubble is visible
 
+    @pytest.mark.parametrize("issue", ["single_issue", "dual_issue"])
+    def test_back_to_back_taken_jumps_both_pay_redirect(self, issue):
+        # Regression: two taken register jumps are in flight at once (the
+        # second in the first one's shadow); a scalar pending-redirect
+        # slot let the second overwrite the first, silently dropping the
+        # first bubble.  The traces below are identical except for the
+        # first jump's taken-target field, so any cycle difference is
+        # exactly that bubble: the load at the first redirect's landing
+        # index issues a cycle later, and its dependent use follows.
+        def jump(pc, taken):
+            target = TEXT_BASE + 4 * (pc + 2) if taken else 0
+            return (TEXT_BASE + 4 * pc, JUMP, NO_REG, 31, NO_REG, target)
+
+        def probe(first_taken):
+            return [
+                jump(0, first_taken),
+                jump(1, True),
+                load(2, 8, NO_REG, 0x1000),
+                alu(3, dst=9, s1=8),
+                alu(4),
+            ]
+
+        config = getattr(BASELINE, issue)().without_prefetch()
+        both_taken = simulate_trace(probe(True), config).stats.cycles
+        first_untaken = simulate_trace(probe(False), config).stats.cycles
+        assert both_taken > first_untaken
+
+
+class TestInflightFillTracking:
+    def test_bound_crossing_never_double_requests_pending_line(
+        self, monkeypatch
+    ):
+        # Regression: crossing INFLIGHT_BOUND distinct D-lines wholesale-
+        # cleared the in-flight fill map, forgetting fills still on the
+        # bus; re-touching such a line issued a second BIU read for data
+        # already in flight.  With correct tracking every distinct line
+        # is read exactly once: the final re-load of line A must join
+        # A's pending fill (A was evicted by an aliasing line, and the
+        # line that crosses the bound lands while A's fill is in flight).
+        import repro.core.processor as proc_module
+        from repro.core.processor import INFLIGHT_BOUND
+
+        counted = {"dread": 0}
+
+        class CountingBIU(proc_module.BusInterfaceUnit):
+            def request(self, time, kind):
+                if kind == "dread":
+                    counted["dread"] += 1
+                return super().request(time, kind)
+
+        line_size = 32
+        sets = 1024  # 32 KB direct-mapped dcache
+        trace = []
+        pc = 0
+        lines = set()
+        k = 1
+        # Warm up to INFLIGHT_BOUND - 2 distinct lines, none mapping to
+        # set 0 (where the critical lines live).
+        while len(lines) < INFLIGHT_BOUND - 2:
+            if k % sets != 0:
+                trace.append(load(pc, (pc % 8) + 8, NO_REG, k * line_size))
+                lines.add(k)
+                pc += 1
+            k += 1
+        # Drain the ROB so the critical tail issues back-to-back.
+        for j in range(12):
+            trace.append(alu(pc, dst=16 + (j % 8)))
+            pc += 1
+        line_a = 0
+        alias = sets * line_size  # same set as A: evicts it
+        crosser = (k + 7) * line_size  # crosses the bound while A fills
+        for addr in (line_a, alias, crosser, line_a):
+            trace.append(load(pc, (pc % 8) + 8, NO_REG, addr))
+            pc += 1
+        lines |= {0, sets, k + 7}
+
+        monkeypatch.setattr(proc_module, "BusInterfaceUnit", CountingBIU)
+        config = BASELINE.without_prefetch().with_mshrs(8).with_latency(200)
+        simulate_trace(trace, config)
+        # one read per distinct line; the buggy clear() produced one more
+        assert counted["dread"] == len(lines)
+
 
 class TestStatsIntegrity:
     @pytest.mark.parametrize("model_name", ["small", "baseline", "large"])
@@ -217,6 +299,25 @@ class TestStatsIntegrity:
             stats = simulate_trace(fp_trace_small, model).stats
             stats.check_invariants()
             assert stats.fp_instructions > 0
+
+    def test_violated_invariant_raises_real_exception(self):
+        # Regression: bare asserts made check_invariants a no-op under
+        # python -O; it must raise an explicit exception type.
+        from repro.core.stats import InvariantError, SimStats
+
+        stats = SimStats(instructions=100, cycles=50)
+        stats.icache_hits = 10
+        stats.icache_accesses = 5  # more hits than accesses
+        with pytest.raises(InvariantError, match="icache hits"):
+            stats.check_invariants()
+        # back-compat: callers that caught the old assert failures
+        assert issubclass(InvariantError, AssertionError)
+
+    def test_negative_cycles_violates_invariant(self):
+        from repro.core.stats import InvariantError, SimStats
+
+        with pytest.raises(InvariantError, match="negative cycles"):
+            SimStats(instructions=1, cycles=-1).check_invariants()
 
     def test_monotone_in_memory_latency(self, espresso_trace_small):
         cycles = [

@@ -573,3 +573,224 @@ class TestRunAllIntegration:
 
         with pytest.raises(ValueError, match="factor"):
             run_all(factor=0)
+
+
+# --------------------------------------------------------------------------
+# Layer 4: process-parallel execution
+# --------------------------------------------------------------------------
+#
+# The callables below live at module level because the process pool must
+# pickle them (the lambda-style experiments above cannot cross a process
+# boundary).
+
+
+def _par_pid(factor):
+    import os
+
+    return _FakeResult(f"ran in pid {os.getpid()} at factor {factor}")
+
+
+def _par_slow(factor):
+    time.sleep(0.2)
+    return _FakeResult("slow done")
+
+
+def _par_die(factor):
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _par_hang(factor):
+    time.sleep(60)
+    return _FakeResult("never")
+
+
+class _UnpicklableResult:
+    def __init__(self):
+        self.blocker = lambda: None  # lambdas cannot pickle
+
+    def render(self):
+        return "unpicklable but rendered"
+
+
+def _par_unpicklable(factor):
+    return _UnpicklableResult()
+
+
+def _par_trace_user(factor):
+    from repro.workloads.registry import get_trace
+
+    return _FakeResult(f"trace of {len(get_trace('sc', 9))} records")
+
+
+class TestParallelRunner:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ResilientRunner(jobs=0)
+        with pytest.raises(ValueError, match="jobs"):
+            ResilientRunner(jobs=1.5)
+
+    def test_runs_in_worker_processes(self, tmp_path):
+        import os
+
+        runner = ResilientRunner(tmp_path / "m.json", jobs=2)
+        results, report = runner.run(
+            {"a": _par_pid, "b": _par_pid, "c": _par_pid}, factor=0.5
+        )
+        assert report.ok
+        for outcome in report.outcomes:
+            assert outcome.status == "ok"
+            assert outcome.worker.startswith("pid-")
+            assert outcome.worker != f"pid-{os.getpid()}"
+        assert "factor 0.5" in results["a"].render()
+
+    def test_parallel_report_order_matches_serial(self, tmp_path):
+        experiments = {"z": _par_pid, "a": _par_slow, "m": _par_pid}
+        _r1, serial = ResilientRunner(tmp_path / "s.json").run(experiments)
+        _r2, parallel = ResilientRunner(tmp_path / "p.json", jobs=3).run(
+            experiments
+        )
+        # Canonical mapping order regardless of completion order.
+        assert [o.exp_id for o in serial.outcomes] == ["z", "a", "m"]
+        assert [o.exp_id for o in parallel.outcomes] == ["z", "a", "m"]
+
+    def test_transient_fault_retries_across_processes(self, tmp_path):
+        plan = FaultPlan().add("flaky", "transient", count=2)
+        runner = ResilientRunner(
+            tmp_path / "m.json",
+            jobs=2,
+            fault_plan=plan,
+            retries=2,
+            backoff=0.0,
+        )
+        _results, report = runner.run({"flaky": _par_pid, "b": _par_pid})
+        outcomes = {o.exp_id: o for o in report.outcomes}
+        assert outcomes["flaky"].status == "ok"
+        assert outcomes["flaky"].attempts == 3  # parent-tracked attempts
+        assert outcomes["b"].status == "ok"
+
+    def test_injected_crash_contained_in_parallel(self, tmp_path):
+        plan = FaultPlan().add("bad", "crash")
+        runner = ResilientRunner(
+            tmp_path / "m.json", jobs=2, fault_plan=plan, backoff=0.0
+        )
+        results, report = runner.run({"bad": _par_pid, "ok": _par_pid})
+        outcomes = {o.exp_id: o for o in report.outcomes}
+        assert outcomes["bad"].status == "failed"
+        assert "injected crash" in outcomes["bad"].error
+        assert outcomes["ok"].status == "ok"
+        assert "bad" not in results
+
+    def test_worker_death_does_not_kill_the_sweep(self, tmp_path):
+        runner = ResilientRunner(tmp_path / "m.json", jobs=2)
+        results, report = runner.run(
+            {"die": _par_die, "b": _par_slow, "c": _par_pid}
+        )
+        outcomes = {o.exp_id: o for o in report.outcomes}
+        # The SIGKILL'd worker is reported, bystanders complete.
+        assert outcomes["die"].status == "failed"
+        assert "worker process died" in outcomes["die"].error
+        assert outcomes["b"].status == "ok"
+        assert outcomes["c"].status == "ok"
+
+    def test_timeout_kills_worker_for_real(self, tmp_path):
+        started = time.monotonic()
+        runner = ResilientRunner(tmp_path / "m.json", jobs=2, timeout=0.5)
+        _results, report = runner.run({"hang": _par_hang, "b": _par_pid})
+        wall = time.monotonic() - started
+        outcomes = {o.exp_id: o for o in report.outcomes}
+        assert outcomes["hang"].status == "timeout"
+        assert "worker process killed" in outcomes["hang"].error
+        assert outcomes["b"].status == "ok"
+        # The 60s sleeper was killed, not waited for or abandoned.
+        assert wall < 20
+
+    def test_unpicklable_result_degrades_to_text(self, tmp_path):
+        runner = ResilientRunner(tmp_path / "m.json", jobs=2)
+        results, report = runner.run({"u": _par_unpicklable})
+        assert report.ok
+        assert isinstance(results["u"], CheckpointedResult)
+        assert results["u"].render() == "unpicklable but rendered"
+
+    def test_parallel_checkpoint_resume(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        experiments = {"a": _par_pid, "b": _par_pid}
+        _r, first = ResilientRunner(manifest, jobs=2).run(experiments)
+        assert first.ok
+        _r, second = ResilientRunner(manifest, jobs=2).run(experiments)
+        assert [o.status for o in second.outcomes] == [
+            "checkpointed",
+            "checkpointed",
+        ]
+
+    def test_manifest_records_worker_and_cache_counters(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        ResilientRunner(manifest, jobs=2).run({"a": _par_pid})
+        entry = json.loads(manifest.read_text())["entries"]["a"]
+        assert entry["worker"].startswith("pid-")
+        assert isinstance(entry["trace_cache_hits"], int)
+        assert isinstance(entry["trace_cache_misses"], int)
+
+    def test_warm_disk_cache_visible_in_outcomes(self, tmp_path):
+        # Workers are fresh processes: the first parallel run must build
+        # the trace (a disk miss), the second must load it (a disk hit)
+        # without re-running the functional simulator.
+        from repro.workloads import trace_cache
+        from repro.workloads.trace_cache import TraceCache
+
+        previous = trace_cache._default
+        trace_cache._default = TraceCache(tmp_path / "cache")
+        try:
+            _r, cold = ResilientRunner(jobs=2).run({"t": _par_trace_user})
+            _r, warm = ResilientRunner(jobs=2).run({"t": _par_trace_user})
+        finally:
+            trace_cache._default = previous
+        assert cold.outcomes[0].cache_misses >= 1
+        assert cold.outcomes[0].cache_hits == 0
+        assert warm.outcomes[0].cache_hits >= 1
+        assert warm.outcomes[0].cache_misses == 0
+        assert cold.outcomes[0].status == warm.outcomes[0].status == "ok"
+
+
+class TestParallelRunAllIntegration:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        import io
+
+        from repro.experiments.run_all import run_resilient
+
+        serial_out = tmp_path / "serial"
+        parallel_out = tmp_path / "parallel"
+        common = dict(factor=0.1, only=["fig1", "table2"], stream=io.StringIO())
+        _r, serial = run_resilient(out_dir=str(serial_out), **common)
+        _r, parallel = run_resilient(
+            out_dir=str(parallel_out), jobs=2, **common
+        )
+        assert serial.ok and parallel.ok
+        for exp_id in ("fig1", "table2"):
+            assert (serial_out / f"{exp_id}.txt").read_text() == (
+                parallel_out / f"{exp_id}.txt"
+            ).read_text()
+
+    def test_cli_rejects_negative_retries(self):
+        from repro.experiments.cli import main as cli_main
+        from repro.experiments.run_all import main as run_all_main
+
+        with pytest.raises(SystemExit) as info:
+            run_all_main(["--retries", "-3", "--only", "fig1"])
+        assert info.value.code == 2  # argparse usage error, not a crash
+        with pytest.raises(SystemExit) as info:
+            cli_main(["experiments", "--retries", "-3", "--only", "fig1"])
+        assert info.value.code == 2
+
+    def test_cli_rejects_bad_jobs(self):
+        from repro.experiments.run_all import main as run_all_main
+
+        with pytest.raises(SystemExit) as info:
+            run_all_main(["--jobs", "0", "--only", "fig1"])
+        assert info.value.code == 2
+
+    def test_runner_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            ResilientRunner(retries=-3)

@@ -1,0 +1,212 @@
+"""Tests for the persistent on-disk trace cache and its registry tier."""
+
+import pytest
+
+from repro.func.trace import TraceIOError, save_trace
+from repro.isa.instructions import Kind
+from repro.workloads import registry, trace_cache
+from repro.workloads.trace_cache import TraceCache, trace_fingerprint
+
+ALU = int(Kind.ALU)
+
+
+def _trace(n=50):
+    return [(4096 + 4 * i, ALU, 8, 9, -1, 0) for i in range(n)]
+
+
+class TestTraceCache:
+    def test_roundtrip(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert cache.load("sc", 8) is None  # cold
+        cache.store("sc", 8, _trace())
+        assert cache.load("sc", 8) == _trace()
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_distinct_keys_per_name_and_scale(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.store("sc", 8, _trace(10))
+        cache.store("sc", 9, _trace(20))
+        cache.store("li", 8, _trace(30))
+        assert len(cache.load("sc", 8)) == 10
+        assert len(cache.load("sc", 9)) == 20
+        assert len(cache.load("li", 8)) == 30
+
+    def test_corrupt_file_is_dropped_and_missed(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        path = cache.path_for("sc", 8)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a numpy archive at all")
+        assert cache.load("sc", 8) is None
+        assert not path.exists()  # poisoned entry deleted on contact
+        assert cache.misses == 1
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path, monkeypatch):
+        cache = TraceCache(tmp_path)
+        cache.store("sc", 8, _trace())
+        # A changed functional/ISA/workload source changes the
+        # fingerprint, which changes the file name: old entries are
+        # simply never looked up again.
+        monkeypatch.setattr(
+            trace_cache, "trace_fingerprint", lambda: "0" * 16
+        )
+        assert cache.load("sc", 8) is None
+
+    def test_eviction_keeps_newest(self, tmp_path):
+        import os
+
+        cache = TraceCache(tmp_path, max_entries=2)
+        for i, name in enumerate(("a", "b", "c", "d")):
+            cache.store(name, 8, _trace(10))
+            # mtime resolution can be coarse; force a strict ordering
+            stamp = 1_000_000_000 + i
+            os.utime(cache.path_for(name, 8), (stamp, stamp))
+            cache._evict()
+        remaining = sorted(p.name for p in tmp_path.glob("*.npz"))
+        assert len(remaining) == 2
+        assert cache.load("c", 8) is not None
+        assert cache.load("d", 8) is not None
+        assert cache.load("a", 8) is None
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = TraceCache(tmp_path, enabled=False)
+        cache.store("sc", 8, _trace())
+        assert list(tmp_path.glob("*.npz")) == []
+        assert cache.load("sc", 8) is None
+        assert cache.misses == 1 and cache.stores == 0
+
+    def test_max_entries_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            TraceCache(tmp_path, max_entries=0)
+
+    def test_fingerprint_is_stable(self):
+        assert trace_fingerprint() == trace_fingerprint()
+        assert len(trace_fingerprint()) == 16
+
+    def test_clear(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.store("sc", 8, _trace())
+        cache.clear()
+        assert list(tmp_path.glob("*.npz")) == []
+
+
+class TestDefaultCache:
+    def test_env_switch_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_SWITCH, "off")
+        monkeypatch.setenv(trace_cache.ENV_DIR, str(tmp_path))
+        monkeypatch.setattr(trace_cache, "_default", None)
+        cache = trace_cache.default_cache()
+        assert not cache.enabled
+        assert cache.root == tmp_path
+
+    def test_set_enabled_flips_default(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            trace_cache, "_default", TraceCache(tmp_path)
+        )
+        trace_cache.set_enabled(False)
+        assert not trace_cache.default_cache().enabled
+
+    def test_snapshot_counts_default_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            trace_cache, "_default", TraceCache(tmp_path)
+        )
+        trace_cache.default_cache().load("nope", 1)
+        assert trace_cache.snapshot() == (0, 1)
+
+
+class TestRegistryDiskTier:
+    def test_disk_tier_avoids_rebuild(self, tmp_path, monkeypatch):
+        # Build once (disk miss -> functional sim -> store) ...
+        monkeypatch.setattr(trace_cache, "_default", TraceCache(tmp_path))
+        registry.clear_trace_cache()
+        first = registry.get_trace("sc", 7)
+        assert trace_cache.snapshot() == (0, 1)
+        assert list(tmp_path.glob("sc-s7-*.npz"))
+        # ... then drop the memory memo and break the functional
+        # simulator: the second lookup must come from disk.
+        registry.clear_trace_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("trace was rebuilt despite a disk hit")
+
+        monkeypatch.setattr(registry, "run_program", boom)
+        second = registry.get_trace("sc", 7)
+        assert second == first
+        assert trace_cache.snapshot() == (1, 1)
+
+    def test_corrupt_disk_entry_falls_back_to_build(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(trace_cache, "_default", TraceCache(tmp_path))
+        registry.clear_trace_cache()
+        cache = trace_cache.default_cache()
+        path = cache.path_for("sc", 7)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"garbage")
+        trace = registry.get_trace("sc", 7)
+        assert len(trace) > 0
+        # rebuilt and re-stored a good copy
+        assert cache.load("sc", 7) == trace
+
+
+class TestTraceIOValidation:
+    def test_unreadable_archive_raises(self, tmp_path):
+        from repro.func.trace import load_trace
+
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"\x00\x01\x02")
+        with pytest.raises(TraceIOError, match="unreadable"):
+            load_trace(bad)
+
+    def test_missing_trace_array_raises(self, tmp_path):
+        import numpy as np
+
+        from repro.func.trace import load_trace
+
+        path = tmp_path / "empty.npz"
+        np.savez_compressed(path, other=np.zeros(3))
+        with pytest.raises(TraceIOError, match="no 'trace' array"):
+            load_trace(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        import numpy as np
+
+        from repro.func.trace import load_trace
+
+        path = tmp_path / "vers.npz"
+        np.savez_compressed(
+            path,
+            trace=np.zeros((2, 6), dtype=np.int64),
+            version=np.int64(999),
+        )
+        with pytest.raises(TraceIOError, match="version 999"):
+            load_trace(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        import numpy as np
+
+        from repro.func.trace import load_trace
+
+        path = tmp_path / "shape.npz"
+        np.savez_compressed(path, trace=np.zeros((4, 5), dtype=np.int64))
+        with pytest.raises(TraceIOError, match="shape"):
+            load_trace(path)
+
+    def test_non_integral_dtype_raises(self, tmp_path):
+        import numpy as np
+
+        from repro.func.trace import load_trace
+
+        path = tmp_path / "dtype.npz"
+        np.savez_compressed(path, trace=np.zeros((4, 6)))
+        with pytest.raises(TraceIOError, match="dtype"):
+            load_trace(path)
+
+    def test_trace_io_error_is_value_error(self):
+        assert issubclass(TraceIOError, ValueError)
+
+    def test_versioned_roundtrip(self, tmp_path):
+        from repro.func.trace import load_trace
+
+        path = tmp_path / "t.npz"
+        save_trace(str(path), _trace())
+        assert load_trace(path) == _trace()
