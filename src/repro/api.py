@@ -49,6 +49,23 @@ from repro.robustness.guards import (  # noqa: F401
     config_fingerprint,
 )
 from repro.robustness.validation import TraceValidationError  # noqa: F401
+from repro.telemetry import (  # noqa: F401
+    EventBus,
+    EventKind,
+    MetricsRegistry,
+    NDJSONSink,
+    RingBufferSink,
+    TelemetryError,
+    assert_stalls_match,
+    cross_check_stalls,
+    interval_cpi,
+    load_ndjson,
+    mshr_occupancy,
+    occupancy_histogram,
+    publish_stats,
+    stall_breakdown,
+    stall_timeline,
+)
 from repro.func.trace import TraceRecord  # noqa: F401
 from repro.isa.assembler import Assembler, parse_asm  # noqa: F401
 from repro.isa.disassembler import disassemble  # noqa: F401
@@ -66,6 +83,7 @@ def simulate_workload(
     name: str,
     config: MachineConfig = BASELINE,
     scale: int | None = None,
+    telemetry: EventBus | None = None,
 ) -> SimulationResult:
     """Trace the named SPEC92-analogue workload and time it on ``config``.
 
@@ -74,13 +92,16 @@ def simulate_workload(
     re-runs only the timing model).  The configuration and scale are
     validated eagerly: impossible machine points and non-positive scales
     fail here with a precise error rather than producing garbage numbers.
+    Pass a :class:`~repro.telemetry.events.EventBus` as ``telemetry`` to
+    capture the run's event stream; the default None keeps every probe
+    at zero cost.
     """
     from repro.robustness.validation import validate_scale
 
     validate_scale(scale)
     config.validate()
     trace = get_trace(name, scale)
-    return simulate_trace(trace, config)
+    return simulate_trace(trace, config, telemetry=telemetry)
 
 
 def simulate_program(

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.telemetry.events import EventKind
+
 
 @dataclass
 class BIUStats:
@@ -46,6 +48,8 @@ class BusInterfaceUnit:
     occupancy: int = 4
     stats: BIUStats = field(default_factory=BIUStats)
     _transmit_free: int = 0
+    #: Optional :class:`repro.telemetry.events.EventBus`; falsy = off.
+    telemetry: object | None = field(default=None, repr=False, compare=False)
 
     def request(self, time: int, kind: str) -> int:
         """Issue one line transaction; return the data-arrival time.
@@ -63,6 +67,15 @@ class BusInterfaceUnit:
         if count is None:
             raise ValueError(f"unknown transaction kind {kind!r}")
         setattr(self.stats, kind, count + 1)
+        if self.telemetry:
+            self.telemetry.emit(
+                grant,
+                "biu",
+                EventKind.BIU_TXN,
+                txn=kind,
+                requested=time,
+                arrival=grant + self.latency,
+            )
         return grant + self.latency
 
     @property

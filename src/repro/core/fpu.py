@@ -34,6 +34,7 @@ from enum import Enum
 
 from repro.core.config import FPIssuePolicy, FPUConfig
 from repro.isa.instructions import Kind
+from repro.telemetry.events import EventKind
 
 
 class FPUnit(Enum):
@@ -95,6 +96,8 @@ class DecoupledFPU:
         self.instructions = 0
         self.issue_stall_cycles = 0
         self.last_event = 0
+        #: Optional :class:`repro.telemetry.events.EventBus`; falsy = off.
+        self.telemetry = None
 
     # ------------------------------------------------------------- IPU side
 
@@ -125,6 +128,8 @@ class DecoupledFPU:
         Returns the completion time.
         """
         unit = _KIND_TO_UNIT[kind]
+        if self.telemetry:
+            self.telemetry.emit(arrive, "fpu", EventKind.FPQ_ENQUEUE, queue="iq")
         operand_ready = 0
         if fs >= 0:
             operand_ready = self.reg_ready[fs]
@@ -161,12 +166,23 @@ class DecoupledFPU:
         if self.cfg.issue_policy is FPIssuePolicy.IN_ORDER_COMPLETION:
             # The fully serialised policy has no decoupled write port:
             # the load's RF write is an instruction like any other.
+            if self.telemetry:
+                self.telemetry.emit(
+                    arrive, "fpu", EventKind.FPQ_ENQUEUE, queue="iq"
+                )
             issue = self._issue(arrive, data_arrival, unit=None)
             write_time = issue + 1
             self.reg_ready[fd] = write_time
             self._lq_releases.append(write_time)
             if len(self._lq_releases) > self.cfg.load_queue:
                 self._lq_releases.popleft()
+            if self.telemetry:
+                self.telemetry.emit(
+                    data_arrival, "fpu", EventKind.FPQ_ENQUEUE, queue="lq"
+                )
+                self.telemetry.emit(
+                    write_time, "fpu", EventKind.FPQ_DEQUEUE, queue="lq"
+                )
             self._finish(issue, write_time, unit=None)
             return write_time
         write_time = self._claim_result_bus(data_arrival)
@@ -174,6 +190,13 @@ class DecoupledFPU:
         self._lq_releases.append(write_time)
         if len(self._lq_releases) > self.cfg.load_queue:
             self._lq_releases.popleft()
+        if self.telemetry:
+            self.telemetry.emit(
+                data_arrival, "fpu", EventKind.FPQ_ENQUEUE, queue="lq"
+            )
+            self.telemetry.emit(
+                write_time, "fpu", EventKind.FPQ_DEQUEUE, queue="lq"
+            )
         if write_time > self.last_event:
             self.last_event = write_time
         self.instructions += 1
@@ -192,6 +215,8 @@ class DecoupledFPU:
         sq_floor = 0
         if len(self._sq_releases) >= self.cfg.store_queue:
             sq_floor = self._sq_releases[0]
+        if self.telemetry:
+            self.telemetry.emit(arrive, "fpu", EventKind.FPQ_ENQUEUE, queue="iq")
         issue = self._issue(arrive, sq_floor, unit=None)
         operand_ready = self.reg_ready[ft] if ft >= 0 else 0
         # Data leaves over the data-cache input busses once produced.
@@ -199,6 +224,11 @@ class DecoupledFPU:
         self._sq_releases.append(data_out)
         if len(self._sq_releases) > self.cfg.store_queue:
             self._sq_releases.popleft()
+        if self.telemetry:
+            self.telemetry.emit(issue, "fpu", EventKind.FPQ_ENQUEUE, queue="sq")
+            self.telemetry.emit(
+                data_out, "fpu", EventKind.FPQ_DEQUEUE, queue="sq"
+            )
         self._finish(issue, data_out, unit=None)
         return data_out
 
@@ -275,6 +305,14 @@ class DecoupledFPU:
         return floor
 
     def _finish(self, issue: int, completion: int, unit: FPUnit | None) -> None:
+        if self.telemetry:
+            self.telemetry.emit(
+                issue,
+                "fpu",
+                EventKind.FPQ_ISSUE,
+                unit=unit.value if unit is not None else None,
+            )
+            self.telemetry.emit(issue, "fpu", EventKind.FPQ_DEQUEUE, queue="iq")
         if issue == self._last_issue:
             self._issued_this_cycle += 1
         else:

@@ -20,6 +20,8 @@ instruction reserves one).
 
 from __future__ import annotations
 
+from repro.telemetry.events import EventKind
+
 
 class MSHRFile:
     """Fixed pool of MSHR entries tracked as busy-until timestamps."""
@@ -31,6 +33,8 @@ class MSHRFile:
         self.entries = entries
         self.allocations = 0
         self.stall_cycles = 0
+        #: Optional :class:`repro.telemetry.events.EventBus`; falsy = off.
+        self.telemetry = None
 
     def earliest_grant(self, time: int) -> int:
         """Earliest cycle >= time at which some entry is free."""
@@ -50,12 +54,25 @@ class MSHRFile:
             self.stall_cycles += grant - time
         self._free_at[index] = grant
         self.allocations += 1
+        if self.telemetry:
+            self.telemetry.emit(
+                grant,
+                "mshr",
+                EventKind.MSHR_ALLOC,
+                slot=index,
+                requested=time,
+                wait=grant - time,
+            )
         return grant, index
 
     def set_release(self, index: int, release: int) -> None:
         """Record when the entry at ``index`` frees."""
         if release > self._free_at[index]:
             self._free_at[index] = release
+        if self.telemetry:
+            self.telemetry.emit(
+                self._free_at[index], "mshr", EventKind.MSHR_RELEASE, slot=index
+            )
 
     @property
     def all_free_at(self) -> int:

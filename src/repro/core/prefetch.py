@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.biu import BusInterfaceUnit
+from repro.telemetry.events import EventKind
 
 
 @dataclass
@@ -73,6 +74,8 @@ class StreamBufferPool:
         self._streams = [_Stream() for _ in range(buffers)]
         self._clock = 0  # logical use counter for LRU
         self.stats = PrefetchStats()
+        #: Optional :class:`repro.telemetry.events.EventBus`; falsy = off.
+        self.telemetry = None
 
     # ------------------------------------------------------------------ API
 
@@ -93,7 +96,24 @@ class StreamBufferPool:
                 buffer.last_used = self._bump()
                 self._ramp(buffer, time)
                 self._count_hit(stream)
+                if self.telemetry:
+                    self.telemetry.emit(
+                        time,
+                        "prefetch",
+                        EventKind.PREFETCH_HIT,
+                        stream=stream,
+                        line=line,
+                        arrival=arrival,
+                    )
                 return arrival
+        if self.telemetry:
+            self.telemetry.emit(
+                time,
+                "prefetch",
+                EventKind.PREFETCH_MISS,
+                stream=stream,
+                line=line,
+            )
         return None
 
     def allocate(self, line: int, time: int, stream: str = "D") -> None:
@@ -173,6 +193,16 @@ class SplitStreamBufferPool:
         }
         self.enabled = enabled
         self.depth = depth
+
+    @property
+    def telemetry(self):
+        """Shared event bus of the sub-pools (assignment fans out)."""
+        return self._pools["I"].telemetry
+
+    @telemetry.setter
+    def telemetry(self, bus) -> None:
+        for pool in self._pools.values():
+            pool.telemetry = bus
 
     @property
     def stats(self) -> PrefetchStats:

@@ -40,6 +40,7 @@ from repro.core.stats import SimStats, StallKind
 from repro.core.writecache import WriteCache
 from repro.func.trace import TraceRecord
 from repro.isa.instructions import Kind
+from repro.telemetry.events import EventBus, EventKind
 
 _K_ALU = int(Kind.ALU)
 _K_LOAD = int(Kind.LOAD)
@@ -80,6 +81,14 @@ class SimulationResult:
 
     @property
     def cpi(self) -> float:
+        """Cycles per instruction; NaN for an empty run.
+
+        0/0 has no meaningful CPI — returning 0.0 (as the raw counter
+        ratio used to) silently poisons averages, so an empty trace
+        yields ``float("nan")``, which propagates loudly instead.
+        """
+        if not self.stats.instructions:
+            return float("nan")
         return self.stats.cpi
 
 
@@ -90,16 +99,27 @@ class AuroraProcessor:
     (:class:`repro.robustness.guards.RobustnessPolicy`); the default keeps
     the forward-progress watchdog, occupancy checks and cycle-overflow
     guard enabled with bounds no legitimate run reaches.
+
+    ``telemetry`` optionally attaches an
+    :class:`~repro.telemetry.events.EventBus`: every structure then emits
+    cycle-stamped events at its stall/allocate/drain decision points (see
+    docs/OBSERVABILITY.md).  ``None`` — or a bus with no sinks — keeps
+    the default path: each probe site costs one falsy check and nothing
+    is recorded.
     """
 
     def __init__(
-        self, config: MachineConfig, policy: "RobustnessPolicy | None" = None
+        self,
+        config: MachineConfig,
+        policy: "RobustnessPolicy | None" = None,
+        telemetry: "EventBus | None" = None,
     ) -> None:
         from repro.robustness.guards import RobustnessPolicy
 
         config.validate()
         self.config = config
         self.policy = policy if policy is not None else RobustnessPolicy()
+        self.telemetry = telemetry
 
     def run(self, trace: list[TraceRecord]) -> SimulationResult:
         """Time one trace; returns stats for the whole run.
@@ -132,6 +152,17 @@ class AuroraProcessor:
             write_validation=cfg.write_validation,
         )
         fpu = DecoupledFPU(cfg.fpu)
+
+        # Telemetry: normalise a sink-less bus to None so every probe
+        # site below is a single ``is not None`` test, and attach the
+        # live bus to each structure's own probe points.
+        tele = self.telemetry if self.telemetry else None
+        if tele is not None:
+            biu.telemetry = tele
+            mshr.telemetry = tele
+            pool.telemetry = tele
+            writecache.telemetry = tele
+            fpu.telemetry = tele
 
         watchdog: Watchdog | None = None
         if self.policy.enabled:
@@ -191,6 +222,15 @@ class AuroraProcessor:
                     arrival = request_time
                 t_fetch = arrival + 1
                 icache.fill(pc, t_fetch)
+                if tele is not None:
+                    tele.emit(
+                        request_time,
+                        "fetch",
+                        EventKind.FETCH_STALL,
+                        pc=pc,
+                        index=index,
+                        arrival=t_fetch,
+                    )
             if redirects:
                 redirect_floor = redirects.pop(index, 0)
                 if redirect_floor > t_fetch:
@@ -244,25 +284,36 @@ class AuroraProcessor:
             # --------------------------------------------- stall attribution
             if issue > floor:
                 if issue == t_fetch:
-                    stall[StallKind.ICACHE] += issue - floor
+                    cause = StallKind.ICACHE
                 elif issue == t_operand:
                     if operand_from_load:
-                        stall[StallKind.LOAD] += issue - floor
+                        cause = StallKind.LOAD
                     else:
-                        stall[StallKind.PAIRING] += issue - floor
+                        cause = StallKind.PAIRING
                 elif issue == t_rob:
                     # The paper charges a full reorder buffer to the LSU
                     # when the entry blocking retirement is a memory
                     # instruction still waiting on its data ("most cycles
                     # are spent waiting for data from the LSU").
                     if rob_is_mem and rob_is_mem[0]:
-                        stall[StallKind.LSU] += issue - floor
+                        cause = StallKind.LSU
                     else:
-                        stall[StallKind.ROB_FULL] += issue - floor
+                        cause = StallKind.ROB_FULL
                 elif issue == t_lsu:
-                    stall[StallKind.LSU] += issue - floor
+                    cause = StallKind.LSU
                 else:
-                    stall[StallKind.FPU] += issue - floor
+                    cause = StallKind.FPU
+                stall[cause] += issue - floor
+                if tele is not None:
+                    tele.emit(
+                        floor,
+                        "issue",
+                        EventKind.STALL,
+                        stall=cause.value,
+                        cycles=issue - floor,
+                        index=index,
+                        pc=pc,
+                    )
 
             # ------------------------------------------------------ pairing
             if issue == last_issue:
@@ -278,6 +329,16 @@ class AuroraProcessor:
                 else:
                     issue += 1
                     stall[StallKind.PAIRING] += 1
+                    if tele is not None:
+                        tele.emit(
+                            issue - 1,
+                            "issue",
+                            EventKind.STALL,
+                            stall=StallKind.PAIRING.value,
+                            cycles=1,
+                            index=index,
+                            pc=pc,
+                        )
 
             if issue == last_issue:
                 slots_used += 1
@@ -384,6 +445,15 @@ class AuroraProcessor:
                         target = index + 2
                         if issue + 3 > redirects.get(target, 0):
                             redirects[target] = issue + 3
+                            if tele is not None:
+                                tele.emit(
+                                    issue,
+                                    "branch",
+                                    EventKind.REDIRECT,
+                                    pc=pc,
+                                    index=target,
+                                    floor=issue + 3,
+                                )
 
             elif kind in _FP_ARITH_KINDS:
                 stats.fp_instructions += 1
@@ -433,6 +503,15 @@ class AuroraProcessor:
                 rob.popleft()
                 rob_is_mem.popleft()
 
+            if tele is not None:
+                tele.emit(
+                    retire,
+                    "rob",
+                    EventKind.RETIRE,
+                    index=index,
+                    issue=issue,
+                )
+
             if watchdog is not None:
                 watchdog.observe(index, retire)
 
@@ -466,15 +545,19 @@ def simulate_trace(
     trace: list[TraceRecord],
     config: MachineConfig,
     policy: "RobustnessPolicy | None" = None,
+    telemetry: "EventBus | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: time ``trace`` on a machine built from ``config``.
 
     Eagerly validates the configuration and (a deterministic sample of)
     the trace before spending any simulation time, so impossible machine
     points and corrupt traces fail fast with a precise error instead of
-    producing garbage numbers.
+    producing garbage numbers.  ``telemetry`` (an
+    :class:`repro.telemetry.events.EventBus`) enables event probes for
+    the run; None or a sink-less bus keeps every probe compiled down to
+    a single falsy check.
     """
     from repro.robustness.validation import validate_trace
 
     validate_trace(trace)
-    return AuroraProcessor(config, policy).run(trace)
+    return AuroraProcessor(config, policy, telemetry=telemetry).run(trace)

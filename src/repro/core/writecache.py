@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.biu import BusInterfaceUnit
+from repro.telemetry.events import EventKind
 
 
 @dataclass
@@ -86,6 +87,8 @@ class WriteCache:
         self._lines = [_WCLine() for _ in range(lines)]
         self._clock = 0
         self.stats = WriteCacheStats()
+        #: Optional :class:`repro.telemetry.events.EventBus`; falsy = off.
+        self.telemetry = None
 
     # ------------------------------------------------------------------ API
 
@@ -109,6 +112,15 @@ class WriteCache:
             entry.last_used = self._bump()
             if fp_data_at > entry.data_ready_at:
                 entry.data_ready_at = fp_data_at
+            if self.telemetry:
+                self.telemetry.emit(
+                    time,
+                    "writecache",
+                    EventKind.WC_STORE,
+                    line=line_number,
+                    hit=True,
+                    allocated=False,
+                )
             return max(time + 1, entry.validated_at)
 
         victim = min(self._lines, key=lambda ln: ln.last_used)
@@ -126,6 +138,15 @@ class WriteCache:
         victim.validated_at = validated_at
         victim.data_ready_at = fp_data_at
         victim.last_used = self._bump()
+        if self.telemetry:
+            self.telemetry.emit(
+                time,
+                "writecache",
+                EventKind.WC_STORE,
+                line=line_number,
+                hit=False,
+                allocated=True,
+            )
         return max(time + 1, evict_done, validated_at)
 
     def load_lookup(self, address: int, time: int) -> bool:
@@ -215,6 +236,14 @@ class WriteCache:
         ready = max(time, entry.validated_at, entry.data_ready_at)
         done = self._biu.request(ready, "write")
         self.stats.store_transactions += 1
+        if self.telemetry:
+            self.telemetry.emit(
+                ready,
+                "writecache",
+                EventKind.WC_EVICT,
+                line=entry.line,
+                done=done,
+            )
         return done
 
     def _bump(self) -> int:

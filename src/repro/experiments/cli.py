@@ -5,13 +5,19 @@ Subcommands::
     aurora-sim run <workload> [--model baseline] [--issue 2] [--latency 17]
     aurora-sim suite [--suite int|fp] [--model baseline]
     aurora-sim experiments [--only fig4 table6 ...] [--factor 0.5] [--out d/]
+    aurora-sim trace <workload> [--factor 0.05] [--out trace.ndjson]
+    aurora-sim report <trace.ndjson> [--window 1000]
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
+
+An unknown workload name exits with status 2 after listing the valid
+kernels.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.core.config import (
     BASELINE,
@@ -22,7 +28,7 @@ from repro.core.config import (
 )
 from repro.cost.rbe import fpu_cost, ipu_cost
 from repro.experiments.run_all import nonneg_int, positive_float, positive_int
-from repro.workloads.registry import all_specs
+from repro.workloads.registry import WorkloadError, all_specs
 
 _MODELS = {
     "small": SMALL,
@@ -91,6 +97,56 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Simulate one workload with telemetry on, streaming events to disk."""
+    from repro.core.processor import simulate_trace
+    from repro.experiments.common import scaled_trace
+    from repro.telemetry import (
+        EventBus,
+        MetricsRegistry,
+        NDJSONSink,
+        RingBufferSink,
+        assert_stalls_match,
+        publish_stats,
+        render_summary,
+    )
+
+    config = _configure(args)
+    trace = scaled_trace(args.workload, args.factor)
+    out = args.out or f"{args.workload}-trace.ndjson"
+    bus = EventBus()
+    ring = RingBufferSink()
+    bus.attach(ring)
+    bus.attach(NDJSONSink(out))
+    try:
+        result = simulate_trace(trace, config, telemetry=bus)
+    finally:
+        bus.close()
+    events = ring.events
+    assert_stalls_match(events, result.stats)
+    metrics_out = args.metrics_out or f"{args.workload}-metrics.json"
+    publish_stats(result.stats, MetricsRegistry()).write_json(metrics_out)
+    print(f"workload:  {args.workload} (factor {args.factor})")
+    print(f"machine:   {config.label}")
+    print(f"events:    {len(events)} -> {out}")
+    print(f"metrics:   {metrics_out}")
+    print()
+    print(render_summary(events, result.stats, window=args.window))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarise a previously captured NDJSON event trace."""
+    from repro.telemetry import load_ndjson, render_summary
+
+    events = load_ndjson(args.trace)
+    print(f"trace:  {args.trace}")
+    print(f"events: {len(events)}")
+    print()
+    print(render_summary(events, window=args.window))
+    return 0
+
+
 def cmd_cost(args: argparse.Namespace) -> int:
     config = _configure(args)
     print(ipu_cost(config).render(f"IPU cost: {config.label}"))
@@ -141,6 +197,31 @@ def main(argv: list[str] | None = None) -> int:
                        help="checkpoint manifest path")
     p_exp.set_defaults(func=cmd_experiments)
 
+    p_trace = sub.add_parser(
+        "trace", help="simulate a workload with event telemetry on"
+    )
+    p_trace.add_argument("workload")
+    p_trace.add_argument("--factor", type=positive_float, default=1.0,
+                         help="workload scale factor (as in 'experiments')")
+    p_trace.add_argument("--out", default=None,
+                         help="NDJSON output path "
+                              "(default <workload>-trace.ndjson)")
+    p_trace.add_argument("--metrics-out", default=None,
+                         help="sim.* metrics JSON path "
+                              "(default <workload>-metrics.json)")
+    p_trace.add_argument("--window", type=positive_int, default=1000,
+                         help="CPI phase-summary window (cycles)")
+    _add_machine_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report", help="summarise a captured NDJSON event trace"
+    )
+    p_report.add_argument("trace")
+    p_report.add_argument("--window", type=positive_int, default=1000,
+                          help="CPI phase-summary window (cycles)")
+    p_report.set_defaults(func=cmd_report)
+
     p_cost = sub.add_parser("cost", help="RBE cost of a configuration")
     _add_machine_args(p_cost)
     p_cost.set_defaults(func=cmd_cost)
@@ -149,7 +230,15 @@ def main(argv: list[str] | None = None) -> int:
     p_list.set_defaults(func=cmd_list)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except WorkloadError as error:
+        # KeyError.__str__ wraps the message in quotes; unwrap it.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        print("valid kernels:", file=sys.stderr)
+        for spec in all_specs():
+            print(f"  {spec.name:<10} [{spec.suite}]", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

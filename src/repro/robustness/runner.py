@@ -41,7 +41,14 @@ later — absent in old manifests, ignored by old readers)::
                           "worker": "pid-4242",
                           "trace_cache_hits": 15,
                           "trace_cache_misses": 0,
-                          "text": "<rendered report>"}}}
+                          "text": "<rendered report>"}},
+     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+
+The top-level ``metrics`` key (a
+:meth:`~repro.telemetry.metrics.MetricsRegistry.as_dict` snapshot of the
+sweep's ``runner.*`` metrics) is likewise optional and ignored by old
+readers; the same registry is exported to ``<out>/metrics/runner.json``
+and each experiment gets ``<out>/metrics/<exp_id>.json``.
 
 Deterministic fault injection (:class:`~repro.robustness.faults.FaultPlan`)
 hooks in between the runner and the experiment callables, which is how the
@@ -77,6 +84,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
+from repro.telemetry.metrics import MetricsRegistry, publish_stats
 from repro.workloads import trace_cache
 
 MANIFEST_VERSION = 1
@@ -124,6 +132,9 @@ class RunReport:
     """Partial-results summary the runner always emits."""
 
     outcomes: list[ExperimentOutcome] = field(default_factory=list)
+    #: Sweep-level observability metrics (``runner.*``); also embedded in
+    #: the manifest and exported to ``<out>/metrics/runner.json``.
+    metrics: MetricsRegistry | None = None
 
     @property
     def succeeded(self) -> list[ExperimentOutcome]:
@@ -367,6 +378,21 @@ class ResilientRunner:
         }
         results: dict[str, object] = {}
         outcomes: dict[str, ExperimentOutcome] = {}
+        registry = MetricsRegistry()
+        registry.gauge("runner.factor").set(factor)
+        registry.gauge("runner.jobs").set(self.jobs)
+
+        def publish_outcome(outcome: ExperimentOutcome) -> None:
+            registry.counter(f"runner.experiments_{outcome.status}").inc()
+            registry.counter("runner.attempts").inc(outcome.attempts)
+            registry.counter("runner.trace_cache_hits").inc(outcome.cache_hits)
+            registry.counter("runner.trace_cache_misses").inc(
+                outcome.cache_misses
+            )
+            if outcome.status == "ok":
+                registry.histogram("runner.elapsed_seconds").observe(
+                    outcome.elapsed
+                )
 
         todo: list[tuple[str, Callable[[float], object]]] = []
         for exp_id, runner_fn in selected:
@@ -378,13 +404,33 @@ class ResilientRunner:
             ):
                 results[exp_id] = CheckpointedResult(exp_id, entry.get("text", ""))
                 outcomes[exp_id] = ExperimentOutcome(exp_id, "checkpointed")
+                publish_outcome(outcomes[exp_id])
                 self._emit(stream, exp_id, "checkpointed", entry.get("text", ""))
             else:
                 todo.append((exp_id, runner_fn))
 
+        def export_experiment_metrics(exp_id, outcome, result) -> None:
+            """Write ``<out>/metrics/<exp_id>.json`` for one experiment."""
+            if out_path is None:
+                return
+            per_exp = MetricsRegistry()
+            per_exp.counter("runner.attempts").inc(outcome.attempts)
+            per_exp.counter("runner.trace_cache_hits").inc(outcome.cache_hits)
+            per_exp.counter("runner.trace_cache_misses").inc(
+                outcome.cache_misses
+            )
+            per_exp.gauge("runner.elapsed_seconds").set(outcome.elapsed)
+            per_exp.gauge("runner.ok").set(1.0 if outcome.succeeded else 0.0)
+            stats = getattr(result, "stats", None)
+            if stats is not None and hasattr(stats, "stall_cycles"):
+                publish_stats(stats, per_exp)
+            per_exp.write_json(out_path / "metrics" / f"{exp_id}.json")
+
         def finish(exp_id, outcome, text, result):
             """Record one finished experiment (shared by both backends)."""
             outcomes[exp_id] = outcome
+            publish_outcome(outcome)
+            export_experiment_metrics(exp_id, outcome, result)
             if outcome.status == "ok":
                 if result is None:
                     # Parallel result that did not survive pickling.
@@ -402,7 +448,7 @@ class ResilientRunner:
                 }
                 if out_path:
                     (out_path / f"{exp_id}.txt").write_text(text + "\n")
-                self._save_manifest(manifest_path, entries)
+                self._save_manifest(manifest_path, entries, registry)
                 self._emit(
                     stream,
                     exp_id,
@@ -414,7 +460,7 @@ class ResilientRunner:
                 stale = entries.get(exp_id)
                 if stale is not None and stale.get("key") != keys[exp_id]:
                     entries.pop(exp_id, None)
-                    self._save_manifest(manifest_path, entries)
+                    self._save_manifest(manifest_path, entries, registry)
                 self._emit(
                     stream,
                     exp_id,
@@ -432,9 +478,16 @@ class ResilientRunner:
             else:
                 self._run_pool(todo, factor, finish)
 
+        # Final manifest write picks up metrics for checkpoint-only runs.
+        self._save_manifest(manifest_path, entries, registry)
+        if out_path is not None:
+            registry.write_json(out_path / "metrics" / "runner.json")
+
         # Canonical report order: the experiments mapping, regardless of
         # parallel completion order — serial and parallel reports match.
-        report = RunReport(outcomes=[outcomes[e] for e, _fn in selected])
+        report = RunReport(
+            outcomes=[outcomes[e] for e, _fn in selected], metrics=registry
+        )
         if stream is not None:
             print(report.render(), file=stream)
         return results, report
@@ -831,13 +884,19 @@ class ResilientRunner:
         return entries if isinstance(entries, dict) else {}
 
     @staticmethod
-    def _save_manifest(path: pathlib.Path | None, entries: dict) -> None:
+    def _save_manifest(
+        path: pathlib.Path | None,
+        entries: dict,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"version": MANIFEST_VERSION, "entries": entries}, indent=2
-        )
+        document: dict = {"version": MANIFEST_VERSION, "entries": entries}
+        if metrics is not None:
+            # Extra top-level key: old readers only look at "entries".
+            document["metrics"] = metrics.as_dict()
+        payload = json.dumps(document, indent=2)
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(payload)
         tmp.replace(path)  # atomic: a crash never corrupts the manifest

@@ -1,0 +1,47 @@
+"""Cycle-level observability for the Aurora III timing model.
+
+Four layers (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.telemetry.events` — the event bus: typed probe kinds, a
+  ring-buffer sink and a streaming NDJSON sink; zero overhead when no
+  sink is attached.
+* :mod:`repro.telemetry.analysis` — stall-attribution timelines and the
+  event-vs-counter cross-check, time-weighted occupancy histograms, and
+  per-window CPI phase summaries.
+* :mod:`repro.telemetry.metrics` — a counter/gauge/histogram registry
+  with JSON export, fed by ``SimStats`` and the resilient runner.
+* :mod:`repro.telemetry.validate` — schema validation for NDJSON traces
+  (also runnable: ``python -m repro.telemetry.validate``).
+"""
+
+from repro.telemetry.analysis import (  # noqa: F401
+    IntervalStat,
+    OccupancyHistogram,
+    StallMismatchError,
+    assert_stalls_match,
+    cross_check_stalls,
+    fpu_queue_occupancy,
+    interval_cpi,
+    mshr_occupancy,
+    occupancy_histogram,
+    render_summary,
+    stall_breakdown,
+    stall_timeline,
+    writecache_occupancy,
+)
+from repro.telemetry.events import (  # noqa: F401
+    Event,
+    EventBus,
+    EventKind,
+    NDJSONSink,
+    RingBufferSink,
+    TelemetryError,
+    load_ndjson,
+)
+from repro.telemetry.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish_stats,
+)

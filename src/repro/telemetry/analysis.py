@@ -1,0 +1,330 @@
+"""Derive timelines, breakdowns and occupancy distributions from events.
+
+Three analyses the paper's resource-allocation questions keep asking:
+
+* **Stall attribution** — :func:`stall_breakdown` reconstructs the
+  Figure 6 stall accounting purely from :data:`~repro.telemetry.events.EventKind.STALL`
+  events, and :func:`cross_check_stalls` compares the reconstruction
+  against the ``SimStats`` counters.  The two are maintained by separate
+  code paths, so a disagreement means the stall accounting broke.
+* **Occupancy distributions** — :func:`occupancy_histogram` sweeps
+  paired enter/exit events into a time-weighted occupancy histogram with
+  percentiles, for MSHRs (:func:`mshr_occupancy`), the FPU queues
+  (:func:`fpu_queue_occupancy`) and the write cache
+  (:func:`writecache_occupancy`).  Per the queuing-model literature,
+  these *distributions* — not just means — are what sizing decisions
+  need.
+* **Phase behaviour** — :func:`interval_cpi` summarises CPI per N-cycle
+  window from RETIRE events, exposing the phases of a kernel that a
+  single end-of-run CPI hides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.stats import SimStats, StallKind
+from repro.telemetry.events import Event, EventKind
+
+_STALL_BY_VALUE = {kind.value: kind for kind in StallKind}
+
+
+class StallMismatchError(AssertionError):
+    """Event-reconstructed stalls disagree with the SimStats counters."""
+
+
+# ----------------------------------------------------------- stall analysis
+
+
+def stall_breakdown(events: Iterable[Event]) -> dict[StallKind, int]:
+    """Total stall cycles per kind, reconstructed from STALL events."""
+    totals = {kind: 0 for kind in StallKind}
+    for event in events:
+        if event.kind is EventKind.STALL:
+            kind = _STALL_BY_VALUE[event.fields["stall"]]
+            totals[kind] += event.fields["cycles"]
+    return totals
+
+
+def cross_check_stalls(
+    events: Iterable[Event], stats: SimStats
+) -> list[str]:
+    """Compare event-reconstructed stalls to the counters; list mismatches.
+
+    Returns an empty list when the two accountings agree exactly (the
+    acceptance bar: they are written by independent code paths, so exact
+    agreement is a real audit of the Figure 6 accounting).
+    """
+    reconstructed = stall_breakdown(events)
+    mismatches = []
+    for kind in StallKind:
+        from_events = reconstructed[kind]
+        from_counter = stats.stall_cycles[kind]
+        if from_events != from_counter:
+            mismatches.append(
+                f"stall[{kind.value}]: events say {from_events}, "
+                f"SimStats counter says {from_counter}"
+            )
+    return mismatches
+
+
+def assert_stalls_match(events: Iterable[Event], stats: SimStats) -> None:
+    """Raise :class:`StallMismatchError` unless the accountings agree."""
+    mismatches = cross_check_stalls(events, stats)
+    if mismatches:
+        raise StallMismatchError(
+            "event/counter stall accounting diverged: "
+            + "; ".join(mismatches)
+        )
+
+
+def stall_timeline(
+    events: Iterable[Event], window: int = 1000
+) -> list[tuple[int, dict[StallKind, int]]]:
+    """Stall cycles per kind per ``window``-cycle interval, in time order.
+
+    Each STALL event's cycles are attributed to the window containing the
+    cycle the stall began (the event's stamp).  Windows with no stalls are
+    omitted.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    buckets: dict[int, dict[StallKind, int]] = {}
+    for event in events:
+        if event.kind is not EventKind.STALL:
+            continue
+        start = (event.cycle // window) * window
+        bucket = buckets.setdefault(start, {kind: 0 for kind in StallKind})
+        bucket[_STALL_BY_VALUE[event.fields["stall"]]] += event.fields["cycles"]
+    return sorted(buckets.items())
+
+
+# -------------------------------------------------------------- occupancy
+
+
+@dataclass
+class OccupancyHistogram:
+    """Time-weighted occupancy distribution of one structure.
+
+    ``cycles_at[n]`` is how many cycles the structure spent holding
+    exactly ``n`` entries, between the first and last events observed.
+    """
+
+    cycles_at: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles_at.values())
+
+    @property
+    def max_occupancy(self) -> int:
+        return max(self.cycles_at, default=0)
+
+    @property
+    def time_weighted_mean(self) -> float:
+        total = self.total_cycles
+        if not total:
+            return 0.0
+        return sum(n * c for n, c in self.cycles_at.items()) / total
+
+    def percentile(self, p: float) -> int:
+        """Smallest occupancy level covering ``p`` percent of the cycles."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        total = self.total_cycles
+        if not total:
+            return 0
+        threshold = total * p / 100.0
+        seen = 0
+        for level in sorted(self.cycles_at):
+            seen += self.cycles_at[level]
+            if seen >= threshold:
+                return level
+        return self.max_occupancy  # pragma: no cover - p=100 exits above
+
+    def summary(self, label: str) -> str:
+        return (
+            f"{label}: mean {self.time_weighted_mean:.2f}, "
+            f"p50 {self.percentile(50)}, p90 {self.percentile(90)}, "
+            f"p99 {self.percentile(99)}, max {self.max_occupancy} "
+            f"(over {self.total_cycles:,} cycles)"
+        )
+
+
+def occupancy_histogram(
+    events: Iterable[Event],
+    enter: EventKind,
+    exit: EventKind,
+    *,
+    queue: str | None = None,
+) -> OccupancyHistogram:
+    """Sweep paired enter/exit events into a time-weighted histogram.
+
+    ``enter`` events add one resident entry at their cycle, ``exit``
+    events remove one; ``queue`` filters both on a ``queue`` field (the
+    FPU emits one event stream for its three queues).  Exits sort before
+    enters at the same cycle, so back-to-back reuse of a slot does not
+    overcount.
+    """
+    deltas: list[tuple[int, int]] = []
+    for event in events:
+        if queue is not None and event.fields.get("queue") != queue:
+            continue
+        if event.kind is enter:
+            deltas.append((event.cycle, 1))
+        elif event.kind is exit:
+            deltas.append((event.cycle, -1))
+    histogram = OccupancyHistogram()
+    if not deltas:
+        return histogram
+    deltas.sort()  # (-1) sorts before (+1) at equal cycles
+    occupancy = 0
+    previous = deltas[0][0]
+    cycles_at = histogram.cycles_at
+    for cycle, delta in deltas:
+        if cycle > previous:
+            cycles_at[occupancy] = cycles_at.get(occupancy, 0) + (
+                cycle - previous
+            )
+            previous = cycle
+        occupancy += delta
+    return histogram
+
+
+def mshr_occupancy(events: Iterable[Event]) -> OccupancyHistogram:
+    """MSHR-file occupancy over time (Figure 7's structure)."""
+    return occupancy_histogram(
+        events, EventKind.MSHR_ALLOC, EventKind.MSHR_RELEASE
+    )
+
+
+def fpu_queue_occupancy(
+    events: Iterable[Event], queue: str
+) -> OccupancyHistogram:
+    """Occupancy of one FPU queue: "iq", "lq" or "sq" (Figure 9)."""
+    if queue not in ("iq", "lq", "sq"):
+        raise ValueError(f"queue must be 'iq', 'lq' or 'sq', got {queue!r}")
+    return occupancy_histogram(
+        events, EventKind.FPQ_ENQUEUE, EventKind.FPQ_DEQUEUE, queue=queue
+    )
+
+
+def writecache_occupancy(events: Iterable[Event]) -> OccupancyHistogram:
+    """Valid-line count of the write cache over time (Table 5's structure).
+
+    A store that allocates is an enter; an eviction (including the
+    end-of-run flush) is an exit.  Eviction is stamped when the line may
+    leave the chip, which can trail the allocation that displaced it, so
+    transient counts one above capacity are an artifact of the overlap,
+    not corruption.
+    """
+    enters = [
+        e
+        for e in events
+        if e.kind is EventKind.WC_STORE and e.fields.get("allocated")
+    ]
+    exits = [e for e in events if e.kind is EventKind.WC_EVICT]
+    return occupancy_histogram(
+        enters + exits, EventKind.WC_STORE, EventKind.WC_EVICT
+    )
+
+
+# ------------------------------------------------------------ interval CPI
+
+
+@dataclass(frozen=True)
+class IntervalStat:
+    """One N-cycle window of the run."""
+
+    start: int
+    window: int
+    instructions: int
+
+    @property
+    def cpi(self) -> float:
+        if not self.instructions:
+            return math.inf
+        return self.window / self.instructions
+
+
+def interval_cpi(
+    events: Iterable[Event], window: int = 1000
+) -> list[IntervalStat]:
+    """CPI per ``window``-cycle interval, from RETIRE events.
+
+    Covers every window from cycle 0 through the last retirement, so
+    phase plateaus and memory-bound troughs are visible; windows with no
+    retirements report ``inf`` CPI.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    counts: dict[int, int] = {}
+    last = -1
+    for event in events:
+        if event.kind is not EventKind.RETIRE:
+            continue
+        start = (event.cycle // window) * window
+        counts[start] = counts.get(start, 0) + 1
+        if event.cycle > last:
+            last = event.cycle
+    if last < 0:
+        return []
+    return [
+        IntervalStat(start, window, counts.get(start, 0))
+        for start in range(0, last + 1, window)
+    ]
+
+
+# --------------------------------------------------------------- rendering
+
+
+def render_summary(
+    events: Sequence[Event],
+    stats: SimStats | None = None,
+    *,
+    window: int = 1000,
+    intervals: int = 8,
+) -> str:
+    """Human-readable timeline summary for ``aurora-sim trace``/``report``.
+
+    Stall breakdown (cross-checked against ``stats`` when given),
+    occupancy summaries for every structure that emitted events, and the
+    first ``intervals`` CPI windows.
+    """
+    lines = [f"telemetry: {len(events):,} events"]
+    breakdown = stall_breakdown(events)
+    total = sum(breakdown.values())
+    lines.append(f"stall cycles from events: {total:,}")
+    for kind in StallKind:
+        if breakdown[kind]:
+            lines.append(f"  stall[{kind.value:<9}] {breakdown[kind]:>12,}")
+    if stats is not None:
+        mismatches = cross_check_stalls(events, stats)
+        if mismatches:
+            lines.append("stall cross-check: MISMATCH")
+            lines.extend(f"  {m}" for m in mismatches)
+        else:
+            lines.append("stall cross-check: OK (events == SimStats counters)")
+    occupancies = [("MSHR occupancy", mshr_occupancy(events))]
+    for queue, label in (
+        ("iq", "FPU instruction queue"),
+        ("lq", "FPU load queue"),
+        ("sq", "FPU store queue"),
+    ):
+        occupancies.append((label, fpu_queue_occupancy(events, queue)))
+    occupancies.append(("write-cache lines", writecache_occupancy(events)))
+    for label, histogram in occupancies:
+        if histogram.total_cycles:
+            lines.append(histogram.summary(label))
+    phases = interval_cpi(events, window)
+    if phases:
+        lines.append(f"CPI per {window}-cycle window (first {intervals}):")
+        for stat in phases[:intervals]:
+            cpi = "inf" if not stat.instructions else f"{stat.cpi:.3f}"
+            lines.append(
+                f"  [{stat.start:>10,} +{window}) "
+                f"{stat.instructions:>8,} instr  CPI {cpi}"
+            )
+    return "\n".join(lines)

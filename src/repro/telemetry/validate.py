@@ -1,0 +1,58 @@
+"""Validate an NDJSON event-trace file against the telemetry schema.
+
+Usage::
+
+    python -m repro.telemetry.validate trace.ndjson [more.ndjson ...]
+
+Exit status 0 when every file parses and every event passes schema
+validation; 1 (with the offending line named) otherwise.  CI's telemetry
+smoke job runs this over the trace ``aurora-sim trace`` wrote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.telemetry.events import TelemetryError, load_ndjson
+
+
+def validate_file(path: str, stream=sys.stdout) -> int:
+    """Validate one file; prints a per-kind census. Returns event count."""
+    events = load_ndjson(path)
+    census = Counter(event.kind.value for event in events)
+    print(f"{path}: {len(events):,} events OK", file=stream)
+    for kind, count in sorted(census.items()):
+        print(f"  {kind:<15} {count:>10,}", file=stream)
+    return len(events)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="NDJSON trace files")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail unless each file holds at least this many events",
+    )
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        try:
+            count = validate_file(path)
+        except (OSError, TelemetryError) as error:
+            print(f"{path}: INVALID — {error}", file=sys.stderr)
+            return 1
+        if count < args.min_events:
+            print(
+                f"{path}: only {count} events (expected >= "
+                f"{args.min_events})",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
