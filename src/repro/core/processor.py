@@ -558,6 +558,13 @@ def simulate_trace(
     a single falsy check.
     """
     from repro.robustness.validation import validate_trace
+    from repro.telemetry import tracing
 
     validate_trace(trace)
-    return AuroraProcessor(config, policy, telemetry=telemetry).run(trace)
+    tracer = tracing.current_tracer()
+    if tracer is None:
+        return AuroraProcessor(config, policy, telemetry=telemetry).run(trace)
+    with tracer.span(
+        "simulate", "simulate", instructions=len(trace), config=config.label
+    ):
+        return AuroraProcessor(config, policy, telemetry=telemetry).run(trace)

@@ -5,13 +5,17 @@ Subcommands::
     aurora-sim run <workload> [--model baseline] [--issue 2] [--latency 17]
     aurora-sim suite [--suite int|fp] [--model baseline]
     aurora-sim experiments [--only fig4 table6 ...] [--factor 0.5] [--out d/]
+                           [--trace sweep-trace.json]
     aurora-sim trace <workload> [--factor 0.05] [--out trace.ndjson]
     aurora-sim report <trace.ndjson> [--window 1000]
+    aurora-sim spans <sweep-trace.json> [--min-ms 0.1]
+    aurora-sim perf <workload> [--factor 0.05] [--check] [--seed-baseline]
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
 
 An unknown workload name exits with status 2 after listing the valid
-kernels.
+kernels.  ``perf --check`` exits 3 on a throughput regression beyond the
+threshold and 2 when no baseline is stored yet.
 """
 
 from __future__ import annotations
@@ -93,6 +97,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         retries=args.retries,
         jobs=args.jobs,
         use_trace_cache=not args.no_trace_cache,
+        trace_out=args.trace,
     )
     return 0 if report.ok else 1
 
@@ -123,7 +128,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     finally:
         bus.close()
     events = ring.events
-    assert_stalls_match(events, result.stats)
+    assert_stalls_match(events, result.stats, dropped=ring.dropped)
     metrics_out = args.metrics_out or f"{args.workload}-metrics.json"
     publish_stats(result.stats, MetricsRegistry()).write_json(metrics_out)
     print(f"workload:  {args.workload} (factor {args.factor})")
@@ -145,6 +150,62 @@ def cmd_report(args: argparse.Namespace) -> int:
     print()
     print(render_summary(events, window=args.window))
     return 0
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    """Render a sweep's Chrome span trace as a text tree."""
+    from repro.telemetry import SpanError, load_chrome_trace, render_span_tree
+
+    try:
+        spans = load_chrome_trace(args.trace)
+    except SpanError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"spans:  {args.trace} ({len(spans)} spans)")
+    print()
+    print(render_span_tree(spans, min_duration=args.min_ms / 1000.0))
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Profile the simulator on one workload; track/check perf history."""
+    from repro.telemetry.baseline import BaselineError, PerfHistory, record_now
+    from repro.telemetry.profiling import profile_workload
+
+    config = _configure(args)
+    report = profile_workload(
+        args.workload,
+        config,
+        factor=args.factor,
+        sample=not args.no_sample,
+        use_cprofile=args.cprofile,
+        top=args.top,
+    )
+    print(report.render())
+    history = PerfHistory(args.history)
+    record = record_now(report)
+    try:
+        history.append(record)
+        if args.seed_baseline:
+            history.seed_baseline(record)
+    except BaselineError as error:
+        print(f"perf history: {error}", file=sys.stderr)
+        return 1
+    print()
+    print(
+        f"perf history: {history.path} "
+        f"({len(history.records())} records"
+        + (", baseline seeded from this run)" if args.seed_baseline else ")")
+    )
+    if not args.check:
+        return 0
+    try:
+        check = history.compare(record, threshold=args.threshold)
+    except BaselineError as error:
+        print(f"perf check: {error}", file=sys.stderr)
+        return 2
+    print(f"perf check: {check.render()}")
+    return 3 if check.regressed else 0
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -195,6 +256,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="ignore the checkpoint manifest")
     p_exp.add_argument("--manifest", default=None,
                        help="checkpoint manifest path")
+    p_exp.add_argument("--trace", default=None, metavar="PATH",
+                       help="record host-side spans and export Chrome "
+                            "trace-event JSON here (see 'spans')")
     p_exp.set_defaults(func=cmd_experiments)
 
     p_trace = sub.add_parser(
@@ -221,6 +285,40 @@ def main(argv: list[str] | None = None) -> int:
     p_report.add_argument("--window", type=positive_int, default=1000,
                           help="CPI phase-summary window (cycles)")
     p_report.set_defaults(func=cmd_report)
+
+    p_spans = sub.add_parser(
+        "spans", help="render a sweep span trace as a text tree"
+    )
+    p_spans.add_argument("trace", help="Chrome trace-event JSON "
+                                       "(from 'experiments --trace')")
+    p_spans.add_argument("--min-ms", type=float, default=0.0,
+                         help="fold spans shorter than this many ms")
+    p_spans.set_defaults(func=cmd_spans)
+
+    p_perf = sub.add_parser(
+        "perf", help="profile simulator throughput; track perf history"
+    )
+    p_perf.add_argument("workload")
+    p_perf.add_argument("--factor", type=positive_float, default=1.0,
+                        help="workload scale factor (as in 'experiments')")
+    p_perf.add_argument("--history", default="BENCH_history.json",
+                        help="perf-history JSON path")
+    p_perf.add_argument("--no-sample", action="store_true",
+                        help="skip the sampling phase profiler")
+    p_perf.add_argument("--cprofile", action="store_true",
+                        help="also run cProfile (exact but ~2x slower)")
+    p_perf.add_argument("--top", type=positive_int, default=15,
+                        help="cProfile rows to show")
+    p_perf.add_argument("--seed-baseline", action="store_true",
+                        help="promote this run to the stored baseline")
+    p_perf.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 3 on "
+                             "regression, 2 when no baseline is stored")
+    p_perf.add_argument("--threshold", type=float, default=0.20,
+                        help="regression threshold as a fraction "
+                             "(0.20 = fail when >20%% slower)")
+    _add_machine_args(p_perf)
+    p_perf.set_defaults(func=cmd_perf)
 
     p_cost = sub.add_parser("cost", help="RBE cost of a configuration")
     _add_machine_args(p_cost)

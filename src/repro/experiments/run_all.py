@@ -87,6 +87,7 @@ def run_resilient(
     fault_plan=None,
     jobs: int = 1,
     use_trace_cache: bool = True,
+    trace_out: str | None = None,
 ) -> tuple[dict[str, object], RunReport]:
     """Run the selected experiments; returns ``(results, report)``.
 
@@ -97,11 +98,20 @@ def run_resilient(
     checkpoint, so every experiment runs fresh.  ``jobs > 1`` runs
     experiments on a process pool; ``use_trace_cache=False`` disables
     the persistent trace cache for this process (it never force-enables
-    a cache switched off via the environment).
+    a cache switched off via the environment).  ``trace_out`` switches
+    on host-side span tracing for the sweep and exports the merged span
+    tree as Chrome trace-event JSON to that path (view with
+    ``aurora-sim spans`` or Perfetto); without it no tracer exists and
+    the sweep runs exactly as before.
     """
     validate_factor(factor, where="--factor")
     if not use_trace_cache:
         trace_cache.set_enabled(False)
+    tracer = None
+    if trace_out is not None:
+        from repro.telemetry.tracing import SpanTracer
+
+        tracer = SpanTracer()
     runner = ResilientRunner(
         manifest_path=manifest,
         timeout=timeout,
@@ -109,6 +119,7 @@ def run_resilient(
         backoff=backoff,
         fault_plan=fault_plan,
         jobs=jobs,
+        tracer=tracer,
     )
     return runner.run(
         EXPERIMENTS,
@@ -117,6 +128,7 @@ def run_resilient(
         resume=resume,
         stream=stream if stream is not None else sys.stdout,
         out_dir=out_dir,
+        trace_out=trace_out,
     )
 
 
@@ -216,6 +228,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="checkpoint manifest path (default: <out>/manifest.json)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record host-side spans and export Chrome trace-event "
+             "JSON here (view with 'aurora-sim spans' or Perfetto)",
+    )
     args = parser.parse_args(argv)
     _results, report = run_resilient(
         factor=args.factor,
@@ -227,6 +246,7 @@ def main(argv: list[str] | None = None) -> int:
         retries=args.retries,
         jobs=args.jobs,
         use_trace_cache=not args.no_trace_cache,
+        trace_out=args.trace,
     )
     return 0 if report.ok else 1
 

@@ -48,7 +48,9 @@ The top-level ``metrics`` key (a
 :meth:`~repro.telemetry.metrics.MetricsRegistry.as_dict` snapshot of the
 sweep's ``runner.*`` metrics) is likewise optional and ignored by old
 readers; the same registry is exported to ``<out>/metrics/runner.json``
-and each experiment gets ``<out>/metrics/<exp_id>.json``.
+and each experiment gets ``<out>/metrics/<exp_id>.json``.  When span
+tracing is on and a Chrome trace export was requested, a top-level
+``trace`` key records where that file lands.
 
 Deterministic fault injection (:class:`~repro.robustness.faults.FaultPlan`)
 hooks in between the runner and the experiment callables, which is how the
@@ -84,7 +86,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
+from repro.telemetry import tracing
 from repro.telemetry.metrics import MetricsRegistry, publish_stats
+from repro.telemetry.tracing import SpanTracer
 from repro.workloads import trace_cache
 
 MANIFEST_VERSION = 1
@@ -223,13 +227,23 @@ def _pool_initializer(
     )
 
 
-def _pool_worker(fn, factor: float) -> dict:
+def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
     """Run one experiment attempt in a worker process.
 
     Returns a picklable envelope instead of raising: exceptions are
     shipped to the parent for retry classification, and results that do
     not pickle degrade to their rendered text.
+
+    ``trace_id`` (the sweep's span-correlation id) switches on span
+    tracing inside the worker: a fresh worker-local tracer records the
+    attempt's trace_build / cache_lookup / simulate spans, and the
+    envelope ships them back (relative to the attempt start) for the
+    parent to graft under the experiment's attempt span.
     """
+    worker_tracer: SpanTracer | None = None
+    if trace_id is not None:
+        worker_tracer = SpanTracer(trace_id)
+        tracing.set_tracer(worker_tracer)
     base_hits, base_misses = trace_cache.snapshot()
     started = time.monotonic()
 
@@ -241,6 +255,13 @@ def _pool_worker(fn, factor: float) -> dict:
             cache_hits=hits - base_hits,
             cache_misses=misses - base_misses,
         )
+        if worker_tracer is not None:
+            payload["spans"] = worker_tracer.finished_records()
+            # Workers are reused across experiments: never leak a stale
+            # tracer into the next attempt's probe sites.
+            tracing.set_tracer(None)
+        else:
+            payload["spans"] = []
         return payload
 
     try:
@@ -310,6 +331,7 @@ class ResilientRunner:
         clock: Callable[[], float] = time.monotonic,
         jobs: int = 1,
         mp_context: str | None = None,
+        tracer: SpanTracer | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -330,6 +352,9 @@ class ResilientRunner:
         self.is_transient = is_transient
         self.jobs = jobs
         self.mp_context = mp_context
+        #: Optional host-side span tracer (see repro.telemetry.tracing);
+        #: ``None`` keeps every span site a single falsy check.
+        self.tracer = tracer
         self._sleep = sleep
         self._clock = clock
 
@@ -345,12 +370,71 @@ class ResilientRunner:
         stream=None,
         out_dir: str | pathlib.Path | None = None,
         code_hash: str | None = None,
+        trace_out: str | pathlib.Path | None = None,
     ) -> tuple[dict[str, object], RunReport]:
         """Run the selected experiments; returns ``(results, report)``.
 
         ``results`` maps experiment id to the driver's result object, or a
         :class:`CheckpointedResult` when the manifest supplied it.
+
+        With a ``tracer`` installed on the runner, the whole sweep is
+        recorded as a span tree (sweep -> experiment -> attempt -> probe
+        spans, including worker-side spans in parallel mode);
+        ``trace_out`` additionally exports it as Chrome trace-event JSON
+        once the sweep finishes, and the manifest records the path under
+        a top-level ``trace`` key.
         """
+        tracer = self.tracer
+        trace_path = pathlib.Path(trace_out) if trace_out else None
+        if tracer is None:
+            return self._run_impl(
+                experiments,
+                factor=factor,
+                only=only,
+                resume=resume,
+                stream=stream,
+                out_dir=out_dir,
+                code_hash=code_hash,
+            )
+        with tracing.use_tracer(tracer):
+            sweep_span = tracer.begin(
+                "sweep",
+                "sweep",
+                factor=factor,
+                jobs=self.jobs,
+                trace_id=tracer.trace_id,
+            )
+            try:
+                with tracer.adopt(sweep_span):
+                    return self._run_impl(
+                        experiments,
+                        factor=factor,
+                        only=only,
+                        resume=resume,
+                        stream=stream,
+                        out_dir=out_dir,
+                        code_hash=code_hash,
+                        sweep_span=sweep_span,
+                        trace_path=trace_path,
+                    )
+            finally:
+                tracer.finish(sweep_span)
+                if trace_path is not None:
+                    tracer.write_chrome(trace_path)
+
+    def _run_impl(
+        self,
+        experiments: Mapping[str, Callable[[float], object]],
+        *,
+        factor: float = 1.0,
+        only: list[str] | None = None,
+        resume: bool = True,
+        stream=None,
+        out_dir: str | pathlib.Path | None = None,
+        code_hash: str | None = None,
+        sweep_span=None,
+        trace_path: pathlib.Path | None = None,
+    ) -> tuple[dict[str, object], RunReport]:
         if only:
             unknown = sorted(set(only) - set(experiments))
             if unknown:
@@ -376,8 +460,18 @@ class ResilientRunner:
             exp_id: self._key(exp_id, factor, code_hash)
             for exp_id, _fn in selected
         }
+        #: Perfetto row per experiment (row 0 is the sweep's own row), so
+        #: parallel experiments render side by side instead of nesting.
+        tracks = {
+            exp_id: index + 1
+            for index, (exp_id, _fn) in enumerate(selected)
+        }
+        run_started = self._clock()
         results: dict[str, object] = {}
         outcomes: dict[str, ExperimentOutcome] = {}
+        #: Simulated work finished by this sweep (for throughput gauges);
+        #: only experiments whose results expose ``.stats`` contribute.
+        sim_totals = {"cycles": 0, "instructions": 0}
         registry = MetricsRegistry()
         registry.gauge("runner.factor").set(factor)
         registry.gauge("runner.jobs").set(self.jobs)
@@ -431,6 +525,10 @@ class ResilientRunner:
             outcomes[exp_id] = outcome
             publish_outcome(outcome)
             export_experiment_metrics(exp_id, outcome, result)
+            stats = getattr(result, "stats", None)
+            if stats is not None and hasattr(stats, "cycles"):
+                sim_totals["cycles"] += stats.cycles
+                sim_totals["instructions"] += stats.instructions
             if outcome.status == "ok":
                 if result is None:
                     # Parallel result that did not survive pickling.
@@ -448,7 +546,9 @@ class ResilientRunner:
                 }
                 if out_path:
                     (out_path / f"{exp_id}.txt").write_text(text + "\n")
-                self._save_manifest(manifest_path, entries, registry)
+                self._save_manifest(
+                    manifest_path, entries, registry, trace=trace_path
+                )
                 self._emit(
                     stream,
                     exp_id,
@@ -460,7 +560,9 @@ class ResilientRunner:
                 stale = entries.get(exp_id)
                 if stale is not None and stale.get("key") != keys[exp_id]:
                     entries.pop(exp_id, None)
-                    self._save_manifest(manifest_path, entries, registry)
+                    self._save_manifest(
+                        manifest_path, entries, registry, trace=trace_path
+                    )
                 self._emit(
                     stream,
                     exp_id,
@@ -468,18 +570,68 @@ class ResilientRunner:
                     None,
                 )
 
+        tracer = self.tracer
         if todo:
             if self.jobs == 1:
                 for exp_id, runner_fn in todo:
-                    outcome, text, result = self._run_one(
-                        exp_id, runner_fn, factor
-                    )
-                    finish(exp_id, outcome, text, result)
+                    if tracer is None:
+                        outcome, text, result = self._run_one(
+                            exp_id, runner_fn, factor
+                        )
+                        finish(exp_id, outcome, text, result)
+                        continue
+                    with tracer.span(
+                        f"experiment:{exp_id}",
+                        "experiment",
+                        track=tracks[exp_id],
+                    ) as exp_span:
+                        outcome, text, result = self._run_one(
+                            exp_id, runner_fn, factor
+                        )
+                        exp_span.annotate(
+                            status=outcome.status,
+                            attempts=outcome.attempts,
+                            worker=outcome.worker,
+                        )
+                        if outcome.error:
+                            exp_span.annotate(error=outcome.error)
+                        finish(exp_id, outcome, text, result)
             else:
-                self._run_pool(todo, factor, finish)
+                self._run_pool(
+                    todo,
+                    factor,
+                    finish,
+                    sweep_span=sweep_span,
+                    tracks=tracks,
+                )
+
+        # Sweep-level throughput gauges: how fast the host chewed through
+        # the simulated work (the perf-baseline observatory's inputs).
+        wall = self._clock() - run_started
+        registry.gauge("runner.wall_seconds").set(wall)
+        executed = [o for o in outcomes.values() if o.status == "ok"]
+        if wall > 0:
+            registry.gauge("runner.experiments_per_second").set(
+                len(executed) / wall
+            )
+            if sim_totals["cycles"]:
+                registry.gauge("runner.sim_cycles_per_second").set(
+                    sim_totals["cycles"] / wall
+                )
+                registry.gauge("runner.sim_instructions_per_second").set(
+                    sim_totals["instructions"] / wall
+                )
+        cache_hits = registry.counter("runner.trace_cache_hits").value
+        cache_misses = registry.counter("runner.trace_cache_misses").value
+        if cache_hits + cache_misses:
+            registry.gauge("runner.trace_cache_hit_rate").set(
+                cache_hits / (cache_hits + cache_misses)
+            )
 
         # Final manifest write picks up metrics for checkpoint-only runs.
-        self._save_manifest(manifest_path, entries, registry)
+        self._save_manifest(
+            manifest_path, entries, registry, trace=trace_path
+        )
         if out_path is not None:
             registry.write_json(out_path / "metrics" / "runner.json")
 
@@ -510,7 +662,7 @@ class ResilientRunner:
         while True:
             attempts += 1
             try:
-                result = self._call_with_timeout(exp_id, fn, factor)
+                result = self._timed_attempt(exp_id, fn, factor, attempts)
                 text = result.render()
                 elapsed = self._clock() - started
                 hits, misses = cache_delta()
@@ -567,14 +719,47 @@ class ResilientRunner:
                     None,
                 )
 
+    def _timed_attempt(self, exp_id, fn, factor, attempt):
+        """One serial attempt, wrapped in an ``attempt`` span when tracing.
+
+        Retried attempts each get their own span (siblings under the
+        experiment), annotated with the outcome that ended them.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return self._call_with_timeout(exp_id, fn, factor)
+        with tracer.span(f"attempt#{attempt}", "attempt") as span:
+            try:
+                value = self._call_with_timeout(exp_id, fn, factor)
+            except ExperimentTimeout as error:
+                span.annotate(status="timeout", error=str(error))
+                raise
+            except BaseException as error:  # noqa: BLE001 - annotate only
+                span.annotate(
+                    status="failed",
+                    error=f"{type(error).__name__}: {error}",
+                )
+                raise
+            span.annotate(status="ok")
+            return value
+
     def _call_with_timeout(self, exp_id, fn, factor):
         if self.timeout is None:
             return fn(factor)
         box: dict[str, object] = {}
+        tracer = self.tracer
+        anchor = tracer.current() if tracer is not None else None
 
         def target() -> None:
             try:
-                box["value"] = fn(factor)
+                if anchor is not None:
+                    # The worker thread starts with an empty span stack;
+                    # adopt the attempt span so trace_build / simulate
+                    # spans inside keep their lineage.
+                    with tracer.adopt(anchor):
+                        box["value"] = fn(factor)
+                else:
+                    box["value"] = fn(factor)
             except BaseException as error:  # noqa: BLE001 - re-raised below
                 box["error"] = error
 
@@ -595,14 +780,67 @@ class ResilientRunner:
 
     # ---------------------------------------------------------- process pool
 
-    def _run_pool(self, todo, factor, finish):
+    def _run_pool(self, todo, factor, finish, *, sweep_span=None, tracks=None):
         """Run ``todo`` on a process pool (see module docs for semantics).
 
         The single-threaded event loop below owns all bookkeeping;
         workers only ever see ``_pool_worker`` and return envelopes, so
         there is no shared mutable state to lock.
+
+        Span bookkeeping is manual (``begin``/``finish``) because
+        experiment lifetimes interleave in this loop: an experiment span
+        opens at first submission and closes when ``finish`` runs, and
+        each returned envelope becomes an ``attempt`` span whose window
+        is reconstructed from the worker's wall time, with the worker's
+        own spans grafted underneath.
         """
         fns = dict(todo)
+        tracer = self.tracer
+        trace_id = tracer.trace_id if tracer is not None else None
+        exp_spans: dict[str, object] = {}
+
+        if tracer is not None:
+            record_finished = finish
+
+            def finish(exp_id, outcome, text, result):
+                span = exp_spans.pop(exp_id, None)
+                if span is not None:
+                    span.annotate(
+                        status=outcome.status,
+                        attempts=outcome.attempts,
+                        worker=outcome.worker,
+                    )
+                    if outcome.error:
+                        span.annotate(error=outcome.error)
+                    tracer.finish(span)
+                record_finished(exp_id, outcome, text, result)
+
+        def record_attempt(exp_id, pool_name, envelope, status, error=None):
+            """Graft one worker envelope as an attempt span (or no-op)."""
+            if tracer is None:
+                return
+            parent = exp_spans.get(exp_id)
+            if parent is None:
+                return
+            attempt = tracer.begin(
+                f"attempt#{attempts[exp_id]}",
+                "attempt",
+                parent=parent,
+                start=tracer.now() - envelope["wall"],
+                worker=f"pid-{envelope['pid']}",
+                status=status,
+            )
+            if pool_name == "solo":
+                attempt.annotate(quarantine=True)
+            if error is not None:
+                attempt.annotate(error=error)
+            tracer.graft(
+                envelope.get("spans", []),
+                parent=attempt,
+                offset=attempt.start,
+                prefix=attempt.span_id,
+            )
+            tracer.finish(attempt)
         attempts = {exp_id: 0 for exp_id in fns}
         started_at: dict[str, float] = {}
         #: first time each experiment was *observed* executing — the
@@ -641,7 +879,14 @@ class ResilientRunner:
                     # though the fault itself fires in the worker.
                     self.fault_plan.attempts[exp_id] = attempts[exp_id]
                     fn = _InjectedFault(fn, exp_id, spec, attempts[exp_id])
-            future = pools[pool_name].submit(_pool_worker, fn, factor)
+            if tracer is not None and exp_id not in exp_spans:
+                exp_spans[exp_id] = tracer.begin(
+                    f"experiment:{exp_id}",
+                    "experiment",
+                    parent=sweep_span,
+                    track=(tracks or {}).get(exp_id, 0),
+                )
+            future = pools[pool_name].submit(_pool_worker, fn, factor, trace_id)
             future_home[future] = (pool_name, exp_id)
 
         def pop_pool_futures(pool_name: str) -> list[str]:
@@ -717,6 +962,7 @@ class ResilientRunner:
                     elapsed = now - started_at.get(exp_id, now)
                     worker = f"pid-{envelope['pid']}"
                     if envelope["ok"]:
+                        record_attempt(exp_id, pool_name, envelope, "ok")
                         first_running.pop(exp_id, None)
                         started_at.pop(exp_id, None)
                         finish(
@@ -735,6 +981,13 @@ class ResilientRunner:
                         )
                         continue
                     error = envelope["error"]
+                    record_attempt(
+                        exp_id,
+                        pool_name,
+                        envelope,
+                        "failed",
+                        error=f"{type(error).__name__}: {error}",
+                    )
                     if (
                         self.is_transient(error)
                         and attempts[exp_id] <= self.retries
@@ -821,6 +1074,20 @@ class ResilientRunner:
                         for exp_id in affected:
                             first_running.pop(exp_id, None)
                             if exp_id in victims:
+                                if tracer is not None and exp_id in exp_spans:
+                                    # No envelope survives a killed pool;
+                                    # reconstruct the attempt window from
+                                    # the budget it blew.
+                                    timed_out = tracer.begin(
+                                        f"attempt#{attempts[exp_id]}",
+                                        "attempt",
+                                        parent=exp_spans[exp_id],
+                                        start=tracer.now() - self.timeout,
+                                        status="timeout",
+                                    )
+                                    if pool_name == "solo":
+                                        timed_out.annotate(quarantine=True)
+                                    tracer.finish(timed_out)
                                 finish(
                                     exp_id,
                                     ExperimentOutcome(
@@ -888,18 +1155,23 @@ class ResilientRunner:
         path: pathlib.Path | None,
         entries: dict,
         metrics: MetricsRegistry | None = None,
+        trace: pathlib.Path | None = None,
     ) -> None:
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        document: dict = {"version": MANIFEST_VERSION, "entries": entries}
-        if metrics is not None:
-            # Extra top-level key: old readers only look at "entries".
-            document["metrics"] = metrics.as_dict()
-        payload = json.dumps(document, indent=2)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(payload)
-        tmp.replace(path)  # atomic: a crash never corrupts the manifest
+        with tracing.span("checkpoint", "checkpoint", entries=len(entries)):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            document: dict = {"version": MANIFEST_VERSION, "entries": entries}
+            if metrics is not None:
+                # Extra top-level key: old readers only look at "entries".
+                document["metrics"] = metrics.as_dict()
+            if trace is not None:
+                # Where this sweep's Chrome span trace will land.
+                document["trace"] = str(trace)
+            payload = json.dumps(document, indent=2)
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_text(payload)
+            tmp.replace(path)  # atomic: a crash never corrupts the manifest
 
     @staticmethod
     def _emit(stream, exp_id: str, status: str, text: str | None) -> None:

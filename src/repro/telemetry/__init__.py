@@ -1,22 +1,35 @@
-"""Cycle-level observability for the Aurora III timing model.
+"""Observability for the Aurora III timing model — both clock domains.
 
-Four layers (see docs/OBSERVABILITY.md):
+Simulated time (see docs/OBSERVABILITY.md):
 
 * :mod:`repro.telemetry.events` — the event bus: typed probe kinds, a
-  ring-buffer sink and a streaming NDJSON sink; zero overhead when no
-  sink is attached.
+  ring-buffer sink and a streaming NDJSON sink (plain or gzip); zero
+  overhead when no sink is attached.
 * :mod:`repro.telemetry.analysis` — stall-attribution timelines and the
   event-vs-counter cross-check, time-weighted occupancy histograms, and
   per-window CPI phase summaries.
-* :mod:`repro.telemetry.metrics` — a counter/gauge/histogram registry
-  with JSON export, fed by ``SimStats`` and the resilient runner.
 * :mod:`repro.telemetry.validate` — schema validation for NDJSON traces
   (also runnable: ``python -m repro.telemetry.validate``).
+
+Host time:
+
+* :mod:`repro.telemetry.tracing` — hierarchical sweep/experiment/attempt
+  spans with Chrome trace-event export (Perfetto) and a text tree view;
+  span records cross the process-pool boundary and merge into one trace.
+* :mod:`repro.telemetry.profiling` — simulator throughput (cycles/s,
+  instructions/s), sampling-based per-structure host-time attribution,
+  and opt-in cProfile reports (``aurora-sim perf``).
+* :mod:`repro.telemetry.baseline` — the ``BENCH_history.json`` perf
+  observatory: append-per-run records, a seeded baseline, and threshold
+  regression checks (``aurora-sim perf --check`` exits 3 on regression).
+* :mod:`repro.telemetry.metrics` — a counter/gauge/histogram registry
+  with JSON export, fed by ``SimStats`` and the resilient runner.
 """
 
 from repro.telemetry.analysis import (  # noqa: F401
     IntervalStat,
     OccupancyHistogram,
+    PartialTraceError,
     StallMismatchError,
     assert_stalls_match,
     cross_check_stalls,
@@ -38,10 +51,28 @@ from repro.telemetry.events import (  # noqa: F401
     TelemetryError,
     load_ndjson,
 )
+from repro.telemetry.baseline import (  # noqa: F401
+    BaselineError,
+    PerfHistory,
+    RegressionCheck,
+    validate_record,
+)
 from repro.telemetry.metrics import (  # noqa: F401
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     publish_stats,
+)
+from repro.telemetry.profiling import (  # noqa: F401
+    PerfReport,
+    PhaseSampler,
+    profile_workload,
+)
+from repro.telemetry.tracing import (  # noqa: F401
+    Span,
+    SpanError,
+    SpanTracer,
+    load_chrome_trace,
+    render_span_tree,
 )

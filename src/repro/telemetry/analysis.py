@@ -35,6 +35,32 @@ class StallMismatchError(AssertionError):
     """Event-reconstructed stalls disagree with the SimStats counters."""
 
 
+class PartialTraceError(ValueError):
+    """The event stream is incomplete — a bounded sink dropped events.
+
+    The stall cross-check demands *exact* agreement between events and
+    counters, so running it on a partial stream would report a bogus
+    mismatch (or, worse, a bogus match).  Refusing is the only honest
+    answer.
+    """
+
+
+def _require_complete(events, dropped: int | None, analysis: str) -> None:
+    """Refuse an analysis when the event source admits to dropping events.
+
+    ``dropped`` overrides the count explicitly; otherwise the source
+    itself is asked (``RingBufferSink.dropped``; plain lists report 0).
+    """
+    if dropped is None:
+        dropped = getattr(events, "dropped", 0)
+    if dropped:
+        raise PartialTraceError(
+            f"{analysis} needs the complete event stream, but the sink "
+            f"dropped {dropped} event(s) (bounded ring buffer?); rerun "
+            "with an unbounded sink (RingBufferSink(capacity=None))"
+        )
+
+
 # ----------------------------------------------------------- stall analysis
 
 
@@ -49,14 +75,23 @@ def stall_breakdown(events: Iterable[Event]) -> dict[StallKind, int]:
 
 
 def cross_check_stalls(
-    events: Iterable[Event], stats: SimStats
+    events: Iterable[Event],
+    stats: SimStats,
+    *,
+    dropped: int | None = None,
 ) -> list[str]:
     """Compare event-reconstructed stalls to the counters; list mismatches.
 
     Returns an empty list when the two accountings agree exactly (the
     acceptance bar: they are written by independent code paths, so exact
     agreement is a real audit of the Figure 6 accounting).
+
+    Raises :class:`PartialTraceError` when the stream is known to be
+    incomplete — ``dropped`` passed explicitly, or the ``events`` source
+    exposing a non-zero ``dropped`` attribute (a bounded
+    :class:`~repro.telemetry.events.RingBufferSink`).
     """
+    _require_complete(events, dropped, "stall cross-check")
     reconstructed = stall_breakdown(events)
     mismatches = []
     for kind in StallKind:
@@ -70,9 +105,18 @@ def cross_check_stalls(
     return mismatches
 
 
-def assert_stalls_match(events: Iterable[Event], stats: SimStats) -> None:
-    """Raise :class:`StallMismatchError` unless the accountings agree."""
-    mismatches = cross_check_stalls(events, stats)
+def assert_stalls_match(
+    events: Iterable[Event],
+    stats: SimStats,
+    *,
+    dropped: int | None = None,
+) -> None:
+    """Raise :class:`StallMismatchError` unless the accountings agree.
+
+    Refuses with :class:`PartialTraceError` on a stream that dropped
+    events (see :func:`cross_check_stalls`).
+    """
+    mismatches = cross_check_stalls(events, stats, dropped=dropped)
     if mismatches:
         raise StallMismatchError(
             "event/counter stall accounting diverged: "

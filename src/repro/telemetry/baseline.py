@@ -1,0 +1,265 @@
+"""Perf-baseline observatory: ``BENCH_history.json`` and regression checks.
+
+Every ``aurora-sim perf`` run appends one schema-validated record — git
+SHA, workload/factor/config fingerprint, throughput, wall time, trace-
+cache behaviour — to a history file, so simulator performance is a
+tracked series across PRs instead of folklore.  One record can be
+promoted to the *baseline* (``--seed-baseline``); ``--check`` then
+compares the current run against it and fails with exit status 3 when
+throughput regressed beyond a configurable threshold (default 20%).
+
+Document format (``version`` 1)::
+
+    {"version": 1,
+     "baseline": {<record>} | null,
+     "records": [{"git_sha": "...", "recorded_at": 1722950000.0,
+                  "workload": "compress", "factor": 0.05,
+                  "config": "baseline", "instructions": 40000,
+                  "sim_cycles": 90000, "wall_seconds": 0.41,
+                  "cycles_per_second": 219512.2,
+                  "instructions_per_second": 97561.0,
+                  "cache_hits": 1, "cache_misses": 0}, ...]}
+
+Comparisons are only meaningful between like runs, so ``compare``
+refuses to judge a record against a baseline with a different
+``(workload, factor, config)`` key — a changed sweep is a new series,
+not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+from dataclasses import dataclass
+
+HISTORY_VERSION = 1
+#: Default history location (repo root by convention; CI uploads it).
+DEFAULT_HISTORY = pathlib.Path("BENCH_history.json")
+#: Throughput drop (fraction of baseline) that counts as a regression.
+DEFAULT_THRESHOLD = 0.20
+
+#: Record schema: field name -> accepted types.  Bools are ints in
+#: Python, so int fields explicitly reject them below.
+_SCHEMA: dict[str, tuple[type, ...]] = {
+    "git_sha": (str,),
+    "recorded_at": (int, float),
+    "workload": (str,),
+    "factor": (int, float),
+    "config": (str,),
+    "instructions": (int,),
+    "sim_cycles": (int,),
+    "wall_seconds": (int, float),
+    "cycles_per_second": (int, float),
+    "instructions_per_second": (int, float),
+    "cache_hits": (int,),
+    "cache_misses": (int,),
+}
+
+
+class BaselineError(ValueError):
+    """A perf record or history document is malformed; names the field."""
+
+
+def validate_record(payload: object, *, where: str = "record") -> dict:
+    """Validate one perf-history record against the schema."""
+    if not isinstance(payload, dict):
+        raise BaselineError(
+            f"{where}: expected a JSON object, got {type(payload).__name__}"
+        )
+    for name, types in _SCHEMA.items():
+        if name not in payload:
+            raise BaselineError(f"{where}: missing field {name!r}")
+        value = payload[name]
+        if not isinstance(value, types) or isinstance(value, bool):
+            expected = "/".join(t.__name__ for t in types)
+            raise BaselineError(
+                f"{where}: field {name!r} must be {expected}, "
+                f"got {value!r}"
+            )
+    numeric = (
+        "recorded_at", "factor", "instructions", "sim_cycles",
+        "wall_seconds", "cycles_per_second", "instructions_per_second",
+        "cache_hits", "cache_misses",
+    )
+    for name in numeric:
+        if payload[name] < 0:
+            raise BaselineError(
+                f"{where}: field {name!r} must be >= 0, "
+                f"got {payload[name]!r}"
+            )
+    return dict(payload)
+
+
+def git_sha(cwd: str | pathlib.Path | None = None) -> str:
+    """Current commit hash (short), or "unknown" outside a git checkout."""
+    root = pathlib.Path(cwd) if cwd else pathlib.Path(__file__).parent
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+@dataclass(frozen=True)
+class RegressionCheck:
+    """Outcome of one current-vs-baseline throughput comparison."""
+
+    baseline_throughput: float
+    current_throughput: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (1.0 = unchanged; < 1 = slower)."""
+        if self.baseline_throughput <= 0:
+            return 1.0
+        return self.current_throughput / self.baseline_throughput
+
+    @property
+    def delta_percent(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio < 1.0 - self.threshold
+
+    def render(self) -> str:
+        verdict = (
+            f"REGRESSION (beyond {self.threshold * 100:.0f}% threshold)"
+            if self.regressed
+            else "ok"
+        )
+        return (
+            f"baseline {self.baseline_throughput:,.0f} sim-cycles/s, "
+            f"current {self.current_throughput:,.0f} sim-cycles/s "
+            f"({self.delta_percent:+.1f}%): {verdict}"
+        )
+
+
+class PerfHistory:
+    """One ``BENCH_history.json`` file: append records, keep a baseline."""
+
+    def __init__(self, path: str | pathlib.Path = DEFAULT_HISTORY) -> None:
+        self.path = pathlib.Path(path)
+
+    # -------------------------------------------------------------- load
+
+    def load(self) -> dict:
+        """The validated document (an empty one if the file is absent)."""
+        if not self.path.exists():
+            return {"version": HISTORY_VERSION, "baseline": None, "records": []}
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(
+                f"{self.path}: unreadable history ({error})"
+            ) from None
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != HISTORY_VERSION
+        ):
+            raise BaselineError(
+                f"{self.path}: not a version-{HISTORY_VERSION} "
+                "perf-history document"
+            )
+        records = document.get("records")
+        if not isinstance(records, list):
+            raise BaselineError(f"{self.path}: 'records' must be a list")
+        validated = [
+            validate_record(record, where=f"{self.path} records[{index}]")
+            for index, record in enumerate(records)
+        ]
+        baseline = document.get("baseline")
+        if baseline is not None:
+            baseline = validate_record(
+                baseline, where=f"{self.path} baseline"
+            )
+        return {
+            "version": HISTORY_VERSION,
+            "baseline": baseline,
+            "records": validated,
+        }
+
+    def records(self) -> list[dict]:
+        return self.load()["records"]
+
+    def baseline(self) -> dict | None:
+        return self.load()["baseline"]
+
+    # ------------------------------------------------------------- write
+
+    def _save(self, document: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(document, indent=2) + "\n")
+        tmp.replace(self.path)  # atomic: a crash never corrupts history
+
+    def append(self, record: dict) -> dict:
+        """Validate and append one record; returns the stored copy."""
+        record = validate_record(record)
+        document = self.load()
+        document["records"].append(record)
+        self._save(document)
+        return record
+
+    def seed_baseline(self, record: dict) -> dict:
+        """Promote ``record`` to the stored baseline."""
+        record = validate_record(record, where="baseline")
+        document = self.load()
+        document["baseline"] = record
+        self._save(document)
+        return record
+
+    # ------------------------------------------------------------- check
+
+    def compare(
+        self, record: dict, *, threshold: float = DEFAULT_THRESHOLD
+    ) -> RegressionCheck:
+        """Compare ``record`` against the stored baseline.
+
+        Raises :class:`BaselineError` when no baseline is stored or when
+        the baseline belongs to a different (workload, factor, config)
+        series.
+        """
+        if not 0 < threshold < 1:
+            raise BaselineError(
+                f"threshold must be in (0, 1), got {threshold!r}"
+            )
+        record = validate_record(record)
+        baseline = self.baseline()
+        if baseline is None:
+            raise BaselineError(
+                f"{self.path}: no baseline stored — seed one with "
+                "'aurora-sim perf --seed-baseline' first"
+            )
+        for key in ("workload", "factor", "config"):
+            if record[key] != baseline[key]:
+                raise BaselineError(
+                    f"{self.path}: baseline is for "
+                    f"{key}={baseline[key]!r} but this run has "
+                    f"{key}={record[key]!r}; re-seed the baseline for "
+                    "the new series"
+                )
+        return RegressionCheck(
+            baseline_throughput=float(baseline["cycles_per_second"]),
+            current_throughput=float(record["cycles_per_second"]),
+            threshold=threshold,
+        )
+
+
+def record_now(report, *, sha: str | None = None) -> dict:
+    """Build a history record from a :class:`PerfReport` stamped now."""
+    return report.as_record(
+        git_sha=sha if sha is not None else git_sha(),
+        recorded_at=time.time(),
+    )

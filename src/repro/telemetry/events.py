@@ -26,6 +26,7 @@ Sinks receive :class:`Event` objects via ``record(event)``:
 
 from __future__ import annotations
 
+import gzip
 import io
 import json
 import pathlib
@@ -153,11 +154,23 @@ class RingBufferSink:
 
 
 class NDJSONSink:
-    """Stream events to a file, one JSON object per line."""
+    """Stream events to a file, one JSON object per line.
+
+    A path ending in ``.gz`` writes gzip transparently (and
+    :func:`load_ndjson` reads it back the same way).  The sink is a
+    context manager — ``with NDJSONSink(path) as sink: ...`` closes and
+    flushes on exit — and because every event is one complete line, a
+    stream that is cut short (crash, abandoned worker) and then closed
+    still validates: it just holds fewer events.
+    """
 
     def __init__(self, target: str | pathlib.Path | io.TextIOBase) -> None:
         if isinstance(target, (str, pathlib.Path)):
-            self._file = open(target, "w", encoding="utf-8")
+            name = str(target)
+            if name.endswith(".gz"):
+                self._file = gzip.open(name, "wt", encoding="utf-8")
+            else:
+                self._file = open(name, "w", encoding="utf-8")
             self._owns = True
         else:
             self._file = target
@@ -169,9 +182,21 @@ class NDJSONSink:
         self._file.write("\n")
         self.recorded += 1
 
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
     def close(self) -> None:
         if self._owns and not self._file.closed:
             self._file.close()
+        elif not self._owns and not self._file.closed:
+            self._file.flush()
+
+    def __enter__(self) -> "NDJSONSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class EventBus:
@@ -261,7 +286,12 @@ def iter_ndjson(lines: Iterable[str], *, where: str = "stream") -> Iterator[Even
 
 
 def load_ndjson(path: str | pathlib.Path) -> list[Event]:
-    """Load a validated event list from an NDJSON trace file."""
+    """Load a validated event list from an NDJSON trace file.
+
+    ``.gz`` paths are decompressed transparently, matching what
+    :class:`NDJSONSink` writes for them.
+    """
     path = pathlib.Path(path)
-    with open(path, encoding="utf-8") as handle:
+    opener = gzip.open if str(path).endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as handle:
         return list(iter_ndjson(handle, where=str(path)))

@@ -3,10 +3,14 @@
 Usage::
 
     python -m repro.telemetry.validate trace.ndjson [more.ndjson ...]
+    python -m repro.telemetry.validate trace.ndjson.gz
+    aurora-sim trace compress --events - | python -m repro.telemetry.validate -
 
-Exit status 0 when every file parses and every event passes schema
-validation; 1 (with the offending line named) otherwise.  CI's telemetry
-smoke job runs this over the trace ``aurora-sim trace`` wrote.
+``-`` reads the stream from stdin; paths ending in ``.gz`` are
+decompressed transparently.  Exit status 0 when every input parses and
+every event passes schema validation; 1 (with the offending line named)
+otherwise.  CI's telemetry smoke job runs this over the trace
+``aurora-sim trace`` wrote.
 """
 
 from __future__ import annotations
@@ -15,14 +19,24 @@ import argparse
 import sys
 from collections import Counter
 
-from repro.telemetry.events import TelemetryError, load_ndjson
+from repro.telemetry.events import TelemetryError, iter_ndjson, load_ndjson
 
 
-def validate_file(path: str, stream=sys.stdout) -> int:
-    """Validate one file; prints a per-kind census. Returns event count."""
-    events = load_ndjson(path)
+def validate_file(path: str, stream=None) -> int:
+    """Validate one file (or stdin for ``-``); prints a per-kind census.
+
+    Returns the event count.
+    """
+    if stream is None:
+        stream = sys.stdout
+    if path == "-":
+        events = list(iter_ndjson(sys.stdin, where="<stdin>"))
+        label = "<stdin>"
+    else:
+        events = load_ndjson(path)
+        label = path
     census = Counter(event.kind.value for event in events)
-    print(f"{path}: {len(events):,} events OK", file=stream)
+    print(f"{label}: {len(events):,} events OK", file=stream)
     for kind, count in sorted(census.items()):
         print(f"  {kind:<15} {count:>10,}", file=stream)
     return len(events)
@@ -30,7 +44,11 @@ def validate_file(path: str, stream=sys.stdout) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("paths", nargs="+", help="NDJSON trace files")
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="NDJSON trace files (.gz is transparent; '-' reads stdin)",
+    )
     parser.add_argument(
         "--min-events",
         type=int,

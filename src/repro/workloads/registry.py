@@ -102,18 +102,28 @@ def build_program(name: str, scale: int | None = None) -> Program:
 
 def get_trace(name: str, scale: int | None = None) -> list[TraceRecord]:
     """Dynamic trace for the named kernel (memory -> disk -> build)."""
+    from repro.telemetry import tracing
+
     spec = get_spec(name)
     effective = scale if scale is not None else spec.default_scale
     key = (name, effective)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         disk = trace_cache.default_cache()
-        trace = disk.load(name, effective)
+        with tracing.span(
+            "cache_lookup", "trace", workload=name, scale=effective
+        ) as lookup_span:
+            trace = disk.load(name, effective)
+            if lookup_span is not None:
+                lookup_span.annotate(hit=trace is not None)
         if trace is None:
-            program = spec.builder(effective)
-            result = run_program(program, max_instructions=50_000_000)
-            trace = result.trace
-            disk.store(name, effective, trace)
+            with tracing.span(
+                "trace_build", "trace", workload=name, scale=effective
+            ):
+                program = spec.builder(effective)
+                result = run_program(program, max_instructions=50_000_000)
+                trace = result.trace
+                disk.store(name, effective, trace)
         _TRACE_CACHE[key] = trace
     return trace
 

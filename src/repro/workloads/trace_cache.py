@@ -130,22 +130,27 @@ class TraceCache:
         """
         if not self.enabled:
             return
+        from repro.telemetry import tracing
+
         path = self.path_for(name, scale)
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                dir=self.root, prefix=path.stem, suffix=".tmp"
-            )
-            os.close(fd)
+        with tracing.span(
+            "cache_store", "trace", workload=name, scale=scale
+        ):
             try:
-                save_trace(tmp_name, trace)
-                # numpy appends .npz when the target lacks the suffix
-                tmp = pathlib.Path(tmp_name + ".npz")
-                tmp.replace(path)
-            finally:
-                pathlib.Path(tmp_name).unlink(missing_ok=True)
-        except OSError:
-            return
+                self.root.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=self.root, prefix=path.stem, suffix=".tmp"
+                )
+                os.close(fd)
+                try:
+                    save_trace(tmp_name, trace)
+                    # numpy appends .npz when the target lacks the suffix
+                    tmp = pathlib.Path(tmp_name + ".npz")
+                    tmp.replace(path)
+                finally:
+                    pathlib.Path(tmp_name).unlink(missing_ok=True)
+            except OSError:
+                return
         self.stores += 1
         self._evict()
 

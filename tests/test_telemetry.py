@@ -449,3 +449,184 @@ class TestRunnerMetrics:
         snapshot = report.metrics.as_dict()
         assert snapshot["counters"]["runner.experiments_checkpointed"] == 1
         assert "runner.experiments_ok" not in snapshot["counters"]
+
+
+# ------------------------------------------------- gzip / sink lifecycle
+
+
+class TestNDJSONSinkLifecycle:
+    def _events(self, n=3):
+        return [
+            Event(cycle, "test", EventKind.RETIRE, index=cycle)
+            for cycle in range(n)
+        ]
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "trace.ndjson.gz"
+        with NDJSONSink(path) as sink:
+            for event in self._events():
+                sink.record(event)
+        # The file really is gzip, and loads back transparently.
+        import gzip
+
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == 3
+        assert load_ndjson(path) == self._events()
+
+    def test_gzip_file_passes_validate(self, tmp_path, capsys):
+        path = tmp_path / "trace.ndjson.gz"
+        with NDJSONSink(path) as sink:
+            for event in self._events():
+                sink.record(event)
+        assert validate_file(str(path)) == 3
+
+    def test_context_manager_closes_and_flushes(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        with NDJSONSink(path) as sink:
+            sink.record(self._events(1)[0])
+            sink.flush()  # legal mid-stream
+        assert sink._file.closed
+        assert load_ndjson(path) == self._events(1)
+
+    def test_truncated_then_closed_file_still_validates(self, tmp_path):
+        """A stream cut short at a line boundary is short, not invalid."""
+        path = tmp_path / "trace.ndjson"
+        with NDJSONSink(path) as sink:
+            for event in self._events(5):
+                sink.record(event)
+        # Simulate a crash that lost the tail: keep only two full lines.
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:2]))
+        assert validate_file(str(path)) == 2
+        assert load_ndjson(path) == self._events(2)
+
+
+# ------------------------------------------------------- validate CLI I/O
+
+
+class TestValidateCli:
+    def _ndjson(self, events):
+        return "".join(json.dumps(e.to_dict()) + "\n" for e in events)
+
+    def test_stdin_dash_reads_stream(self, monkeypatch, capsys):
+        import io
+
+        from repro.telemetry import validate
+
+        events = [Event(1, "test", EventKind.RETIRE, index=1)]
+        monkeypatch.setattr("sys.stdin", io.StringIO(self._ndjson(events)))
+        assert validate.main(["-"]) == 0
+        assert "<stdin>: 1 events OK" in capsys.readouterr().out
+
+    def test_stdin_dash_rejects_malformed(self, monkeypatch, capsys):
+        import io
+
+        from repro.telemetry import validate
+
+        monkeypatch.setattr("sys.stdin", io.StringIO('{"cycle": -1}\n'))
+        assert validate.main(["-"]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err and "line 1" in err
+
+    def test_gz_path_through_main(self, tmp_path, capsys):
+        from repro.telemetry import validate
+
+        path = tmp_path / "t.ndjson.gz"
+        with NDJSONSink(path) as sink:
+            sink.record(Event(1, "test", EventKind.RETIRE))
+        assert validate.main([str(path)]) == 0
+
+
+# ------------------------------------------------------- dropped contract
+
+
+class TestPartialTraceRefusal:
+    def test_bounded_ring_refuses_cross_check(self):
+        from repro.telemetry import PartialTraceError
+
+        ring = RingBufferSink(capacity=1)
+        bus = EventBus(ring)
+        trace = scaled_trace("compress", FACTOR)
+        result = simulate_trace(trace, BASELINE, telemetry=bus)
+        assert ring.dropped > 0
+        with pytest.raises(PartialTraceError, match="dropped"):
+            assert_stalls_match(ring, result.stats)
+        with pytest.raises(PartialTraceError, match="dropped"):
+            cross_check_stalls(
+                ring.events, result.stats, dropped=ring.dropped
+            )
+
+    def test_explicit_dropped_overrides_source(self):
+        from repro.telemetry import PartialTraceError
+
+        events, result = run_with_telemetry("compress")
+        # The same complete stream passes without the override...
+        assert_stalls_match(events, result.stats)
+        # ...and refuses when the caller says events were lost.
+        with pytest.raises(PartialTraceError):
+            assert_stalls_match(events, result.stats, dropped=7)
+
+    def test_unbounded_ring_still_passes(self):
+        ring = RingBufferSink()
+        bus = EventBus(ring)
+        trace = scaled_trace("compress", FACTOR)
+        result = simulate_trace(trace, BASELINE, telemetry=bus)
+        assert ring.dropped == 0
+        assert_stalls_match(ring, result.stats)
+
+
+# ------------------------------------------------------ analysis edges
+
+
+class TestAnalysisEdgeCases:
+    def test_interval_cpi_empty_trace(self):
+        assert interval_cpi([]) == []
+        assert stall_timeline([]) == []
+
+    def test_interval_cpi_window_larger_than_run(self):
+        events = [
+            Event(cycle, "test", EventKind.RETIRE, index=cycle, issue=0)
+            for cycle in (3, 7, 9)
+        ]
+        stats = interval_cpi(events, window=10_000)
+        assert len(stats) == 1
+        assert stats[0].start == 0
+        assert stats[0].instructions == 3
+        assert stats[0].cpi == pytest.approx(10_000 / 3)
+
+    def test_interval_cpi_boundary_on_final_cycle(self):
+        # A retire exactly on a window boundary opens one more window.
+        events = [
+            Event(cycle, "test", EventKind.RETIRE, index=cycle, issue=0)
+            for cycle in (0, 999, 1000)
+        ]
+        stats = interval_cpi(events, window=1000)
+        assert [s.start for s in stats] == [0, 1000]
+        assert [s.instructions for s in stats] == [2, 1]
+
+    def test_stall_timeline_window_larger_than_run(self):
+        events = [
+            Event(5, "test", EventKind.STALL, stall="load", cycles=2, index=0,
+                  pc=0),
+            Event(90, "test", EventKind.STALL, stall="pairing", cycles=1,
+                  index=1, pc=4),
+        ]
+        timeline = stall_timeline(events, window=1000)
+        assert len(timeline) == 1
+        start, bucket = timeline[0]
+        assert start == 0
+        assert bucket[StallKind.LOAD] == 2
+        assert bucket[StallKind.PAIRING] == 1
+
+    def test_stall_timeline_boundary_on_final_cycle(self):
+        events = [
+            Event(999, "test", EventKind.STALL, stall="load", cycles=3,
+                  index=0, pc=0),
+            Event(1000, "test", EventKind.STALL, stall="load", cycles=4,
+                  index=1, pc=4),
+        ]
+        timeline = stall_timeline(events, window=1000)
+        assert [start for start, _bucket in timeline] == [0, 1000]
+        assert timeline[0][1][StallKind.LOAD] == 3
+        assert timeline[1][1][StallKind.LOAD] == 4
