@@ -1,0 +1,108 @@
+"""Prepared-vs-tuple trace path: wall time over a multi-config sweep.
+
+The columnar ``PreparedTrace`` exists to make sweeps cheaper: derived
+per-record facts are computed once per trace instead of once per
+configuration.  This bench times the same workload over several machine
+configurations through both representations, asserts the results are
+identical (the semantics-preservation contract), gates that the
+prepared path never loses, and records both series — tagged with their
+trace path — through the perf-history machinery.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import baseline_model, large_model, small_model
+from repro.core.processor import simulate_trace
+from repro.telemetry.baseline import PerfHistory, git_sha
+
+#: One integer workload is enough: the sweep shape (many configs, one
+#: trace) is what the columnar path optimises.
+WORKLOAD = "espresso"
+
+
+def _mini_sweep_configs():
+    return [
+        small_model(),
+        baseline_model(),
+        large_model(),
+        baseline_model().with_(issue_width=1),
+        baseline_model().with_(mem_latency=30),
+    ]
+
+
+def _sweep(trace) -> tuple[float, list]:
+    """Simulate ``trace`` on every config; returns (wall, stats list)."""
+    started = time.perf_counter()
+    stats = [
+        simulate_trace(trace, config).stats
+        for config in _mini_sweep_configs()
+    ]
+    return time.perf_counter() - started, stats
+
+
+def _record(factor: float, wall: float, stats, trace_path: str) -> dict:
+    cycles = sum(s.cycles for s in stats)
+    instructions = sum(s.instructions for s in stats)
+    return {
+        "git_sha": git_sha(),
+        "recorded_at": time.time(),
+        "workload": WORKLOAD,
+        "factor": factor,
+        "config": "mini-sweep/5-configs",
+        "instructions": instructions,
+        "sim_cycles": cycles,
+        "wall_seconds": wall,
+        "cycles_per_second": cycles / wall if wall > 0 else 0.0,
+        "instructions_per_second": instructions / wall if wall > 0 else 0.0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "trace_path": trace_path,
+    }
+
+
+def test_prepared_path_never_loses(benchmark, factor, tmp_path):
+    from repro.experiments.common import scaled_trace
+    from repro.func.prepared import PreparedTrace, prepare_trace
+
+    prepared = scaled_trace(WORKLOAD, factor)
+    assert isinstance(prepared, PreparedTrace)
+    records = prepared.to_records()
+
+    tuple_wall, tuple_stats = _sweep(records)
+    # A fresh preparation keeps the comparison honest: the timed region
+    # includes materializing the hot-loop columns, exactly as a fresh
+    # process would pay it on its first configuration.
+    prepared_wall, prepared_stats = benchmark.pedantic(
+        lambda: _sweep(prepare_trace(records, workload=WORKLOAD)),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Semantics preservation across the whole sweep.
+    assert prepared_stats == tuple_stats
+
+    ratio = prepared_wall / tuple_wall
+    print()
+    print(
+        f"{WORKLOAD} x {len(_mini_sweep_configs())} configs: "
+        f"tuples {tuple_wall:.2f}s  prepared {prepared_wall:.2f}s  "
+        f"({1 / ratio:.2f}x)"
+    )
+
+    # Both series land in a history file, tagged by path, so the ratio
+    # is recorded with the same schema/validation as `aurora-sim perf`.
+    history = PerfHistory(tmp_path / "BENCH_history.json")
+    history.append(_record(factor, tuple_wall, tuple_stats, "tuples"))
+    history.append(_record(factor, prepared_wall, prepared_stats, "prepared"))
+    assert len(history.records()) == 2
+
+    # Loose gate: the prepared path must never lose.  The win is
+    # normally well clear of this; the margin only absorbs timer noise.
+    assert prepared_wall <= tuple_wall * 1.05, (
+        f"prepared path slower than tuples: {prepared_wall:.2f}s vs "
+        f"{tuple_wall:.2f}s ({ratio:.2f}x)"
+    )

@@ -38,6 +38,7 @@ from repro.core.mshr import MSHRFile
 from repro.core.prefetch import SplitStreamBufferPool, StreamBufferPool
 from repro.core.stats import SimStats, StallKind
 from repro.core.writecache import WriteCache
+from repro.func.prepared import PreparedTrace
 from repro.func.trace import TraceRecord
 from repro.isa.instructions import Kind
 from repro.telemetry.events import EventBus, EventKind
@@ -70,6 +71,26 @@ WC_FORWARD_LATENCY = 2
 #: Entry-count bound on the in-flight D-line fill map; crossing it prunes
 #: entries whose fill has already arrived (never genuinely pending ones).
 INFLIGHT_BOUND = 4096
+
+
+def _record_rows(trace, line_shift: int):
+    """Per-record hot-loop rows derived on the fly from 6-tuple records.
+
+    The tuple-trace twin of :meth:`PreparedTrace.rows`: yields the same
+    ``(pc, kind, dst, src1, src2, addr, is_mem, is_fp_dispatch, iline,
+    dline)`` rows, so the timing loop below is one body for both
+    representations — byte-identical stats by construction.
+    """
+    mem_kinds = _MEM_KINDS
+    fp_dispatch_kinds = _FP_DISPATCH_KINDS
+    for pc, kind, dst, s1, s2, addr in trace:
+        yield (
+            pc, kind, dst, s1, s2, addr,
+            kind in mem_kinds,
+            kind in fp_dispatch_kinds,
+            pc >> line_shift,
+            addr >> line_shift,
+        )
 
 
 @dataclass
@@ -121,8 +142,16 @@ class AuroraProcessor:
         self.policy = policy if policy is not None else RobustnessPolicy()
         self.telemetry = telemetry
 
-    def run(self, trace: list[TraceRecord]) -> SimulationResult:
+    def run(
+        self, trace: "list[TraceRecord] | PreparedTrace"
+    ) -> SimulationResult:
         """Time one trace; returns stats for the whole run.
+
+        ``trace`` may be a plain record list or a
+        :class:`~repro.func.prepared.PreparedTrace`; the prepared form
+        walks precomputed columns (kind classes, cache-line indices)
+        instead of re-deriving them per record, and yields byte-identical
+        :class:`~repro.core.stats.SimStats`.
 
         Raises :class:`repro.robustness.guards.SimulationError` if a
         runtime invariant guard trips (wedged pipeline, structure
@@ -205,15 +234,25 @@ class AuroraProcessor:
 
         stall = stats.stall_cycles  # local alias
 
-        for index, record in enumerate(trace):
-            pc, kind, dst, s1, s2, addr = record
+        # One loop body for both trace representations: prepared traces
+        # supply precomputed per-record rows, tuple traces derive the
+        # same rows on the fly (see _record_rows).
+        if isinstance(trace, PreparedTrace):
+            rows = trace.rows(line_shift)
+        else:
+            rows = _record_rows(trace, line_shift)
+
+        for index, (
+            pc, kind, dst, s1, s2, addr, is_mem, is_fp_dispatch,
+            iline, dline,
+        ) in enumerate(rows):
 
             # ---------------------------------------------------- fetch side
             request_time = last_issue if last_issue > 0 else 0
             if icache.lookup(pc):
                 t_fetch = icache.ready_time(pc)
             else:
-                line = pc >> line_shift
+                line = iline
                 arrival = pool.lookup(line, request_time, "I")
                 if arrival is None:
                     pool.allocate(line, request_time, stream="I")
@@ -254,7 +293,6 @@ class AuroraProcessor:
 
             t_rob = rob[0] if len(rob) >= rob_capacity else 0
 
-            is_mem = kind in _MEM_KINDS
             t_lsu = 0
             if is_mem:
                 t_lsu = mshr.earliest_grant(0) - 1
@@ -263,7 +301,7 @@ class AuroraProcessor:
                     t_lsu = port_floor
 
             t_fpu = 0
-            if kind in _FP_DISPATCH_KINDS:
+            if is_fp_dispatch:
                 t_fpu = fpu.dispatch_floor() - FPU_TRANSFER
             elif kind == _K_BRANCH and s1 < 0 and s2 < 0:
                 # bc1t/bc1f: wait for the FP condition flag from the FPU.
@@ -368,7 +406,7 @@ class AuroraProcessor:
                     ready_at = dcache.ready_time(addr)
                     data_ready = max(access, ready_at) + dcache_latency
                 else:
-                    line = addr >> line_shift
+                    line = dline
                     arrival = inflight.get(line)
                     if arrival is None:
                         parr = pool.lookup(line, access, "D")
@@ -415,7 +453,7 @@ class AuroraProcessor:
                     # assembles whole lines, so a store miss installs the
                     # line without a memory fetch when the line drains.
                     dcache.fill(addr, access + dcache_latency)
-                pool.drop_line(addr >> line_shift)
+                pool.drop_line(dline)
                 if kind == _K_FP_STORE:
                     data_out = fpu.store(s2 - 32, issue + FPU_TRANSFER)
                     complete = writecache.store(addr, access, fp_data_at=data_out)
@@ -542,12 +580,17 @@ class AuroraProcessor:
 
 
 def simulate_trace(
-    trace: list[TraceRecord],
+    trace: "list[TraceRecord] | PreparedTrace",
     config: MachineConfig,
     policy: "RobustnessPolicy | None" = None,
     telemetry: "EventBus | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: time ``trace`` on a machine built from ``config``.
+
+    ``trace`` may be a record list or a columnar
+    :class:`~repro.func.prepared.PreparedTrace` (what
+    :func:`repro.workloads.registry.get_trace` returns); results are
+    byte-identical either way.
 
     Eagerly validates the configuration and (a deterministic sample of)
     the trace before spending any simulation time, so impossible machine

@@ -10,6 +10,7 @@ Subcommands::
     aurora-sim report <trace.ndjson> [--window 1000]
     aurora-sim spans <sweep-trace.json> [--min-ms 0.1]
     aurora-sim perf <workload> [--factor 0.05] [--check] [--seed-baseline]
+                    [--trace-path prepared|tuples]
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
 
@@ -180,6 +181,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         sample=not args.no_sample,
         use_cprofile=args.cprofile,
         top=args.top,
+        trace_path=args.trace_path,
     )
     print(report.render())
     history = PerfHistory(args.history)
@@ -317,6 +319,11 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.add_argument("--threshold", type=float, default=0.20,
                         help="regression threshold as a fraction "
                              "(0.20 = fail when >20%% slower)")
+    p_perf.add_argument("--trace-path", choices=("prepared", "tuples"),
+                        default="prepared", dest="trace_path",
+                        help="trace representation to feed the simulator "
+                             "(history records tag it; --check refuses "
+                             "cross-path comparisons)")
     _add_machine_args(p_perf)
     p_perf.set_defaults(func=cmd_perf)
 

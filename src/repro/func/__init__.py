@@ -2,6 +2,7 @@
 
 from repro.func.machine import Machine, MachineResult, SimulationError, run_program
 from repro.func.memory import SparseMemory
+from repro.func.prepared import PreparedTrace, prepare_snapshot, prepare_trace
 from repro.func.trace import (
     FP_REG_BASE,
     HI_REG,
@@ -14,7 +15,9 @@ from repro.func.trace import (
     is_fp_kind,
     is_memory_kind,
     load_trace,
+    load_trace_array,
     save_trace,
+    save_trace_array,
 )
 
 __all__ = [
@@ -23,6 +26,9 @@ __all__ = [
     "SimulationError",
     "run_program",
     "SparseMemory",
+    "PreparedTrace",
+    "prepare_snapshot",
+    "prepare_trace",
     "FP_REG_BASE",
     "HI_REG",
     "LO_REG",
@@ -34,5 +40,7 @@ __all__ = [
     "is_fp_kind",
     "is_memory_kind",
     "load_trace",
+    "load_trace_array",
     "save_trace",
+    "save_trace_array",
 ]

@@ -1,0 +1,267 @@
+"""Columnar prepared traces: derive per-record facts once, sweep many configs.
+
+Every paper result is a sweep — Figure 8 alone times dozens of machine
+configurations over the *same* dynamic traces — yet the timing model used
+to re-walk a Python list of 6-tuples and re-derive config-independent
+facts (kind classes, cache-line indices) for every single configuration.
+:class:`PreparedTrace` is the columnar fix:
+
+* the six record fields held as numpy ``int64`` columns (one ``(n, 6)``
+  array, possibly memory-mapped straight out of the trace cache),
+* derived columns computed **once per trace**: memory/FP-dispatch kind
+  masks, the branch-taken mask, and per-``line_shift`` I-line / D-line
+  indices,
+* the same columns materialized as plain Python lists the first time a
+  timing run asks for them — the hot loop then iterates a ``zip`` of
+  lists (fast C-level indexed access, no per-config tuple unpacking and
+  no per-record ``frozenset`` membership tests).
+
+Preparation is **semantics-preserving**: a :class:`PreparedTrace` behaves
+like the ``list[TraceRecord]`` it was built from (``len``, indexing,
+iteration, equality all yield the same records), and
+:meth:`AuroraProcessor.run <repro.core.processor.AuroraProcessor.run>`
+produces byte-identical :class:`~repro.core.stats.SimStats` on either
+representation — ``tests/test_prepared.py`` asserts this over both
+benchmark suites and CI byte-diffs whole experiment reports across the
+two paths (see docs/MODELING.md and docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import time
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.func.trace import (
+    TraceRecord,
+    TraceStats,
+    _CONTROL_KINDS,
+    _FP_KINDS,
+    _MEMORY_KINDS,
+)
+from repro.isa.instructions import Kind
+
+_MEM_KIND_LIST = sorted(_MEMORY_KINDS)
+#: Kinds the IPU hands to the decoupled FPU — identical to the trace
+#: module's FP class (arithmetic + FP loads/stores/moves).
+_FP_DISPATCH_KIND_LIST = sorted(_FP_KINDS)
+_CONTROL_KIND_LIST = sorted(_CONTROL_KINDS)
+_FP_MOVE = int(Kind.FP_MOVE)
+
+#: Process-wide preparation accounting (mirrors trace_cache.snapshot()):
+#: the experiment runner publishes the deltas as ``runner.*`` metrics.
+_PREPARE_COUNT = 0
+_PREPARE_SECONDS = 0.0
+
+
+def prepare_snapshot() -> tuple[int, float]:
+    """(traces prepared, wall seconds spent preparing) so far."""
+    return (_PREPARE_COUNT, _PREPARE_SECONDS)
+
+
+class PreparedTrace(collections.abc.Sequence):
+    """One dynamic trace in columnar form (see module docstring).
+
+    Construct through :func:`prepare_trace` (which records the
+    ``trace_prepare`` span and the process-wide prepare gauges) rather
+    than directly.  The backing array may be a read-only memory map from
+    the trace cache; nothing here ever writes to it.
+    """
+
+    __slots__ = (
+        "_array", "pc", "kind", "dst", "src1", "src2", "addr",
+        "mem_mask", "fp_dispatch_mask", "branch_taken_mask",
+        "_columns", "_flag_lists", "_line_lists",
+        "prepare_seconds", "source", "validated",
+    )
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        *,
+        source: str = "records",
+    ) -> None:
+        if array.ndim != 2 or (array.size and array.shape[1] != 6):
+            raise ValueError(
+                f"prepared trace array must have shape (n, 6), "
+                f"got {array.shape}"
+            )
+        if not np.issubdtype(array.dtype, np.integer):
+            raise ValueError(
+                f"prepared trace array dtype {array.dtype} is not integral"
+            )
+        self._array = array
+        self.pc = array[:, 0]
+        self.kind = array[:, 1]
+        self.dst = array[:, 2]
+        self.src1 = array[:, 3]
+        self.src2 = array[:, 4]
+        self.addr = array[:, 5]
+        # Config-independent kind classes, derived once per trace.
+        self.mem_mask = np.isin(self.kind, _MEM_KIND_LIST)
+        self.fp_dispatch_mask = np.isin(self.kind, _FP_DISPATCH_KIND_LIST)
+        self.branch_taken_mask = np.isin(self.kind, _CONTROL_KIND_LIST) & (
+            self.addr != 0
+        )
+        #: Hot-loop lists, materialized lazily on first use (a report-only
+        #: consumer of the columns never pays for them).
+        self._columns: tuple[list, ...] | None = None
+        self._flag_lists: tuple[list[bool], list[bool]] | None = None
+        #: line_shift -> (iline list, dline list), memoized because the
+        #: paper's models share one 32-byte line size.
+        self._line_lists: dict[int, tuple[list[int], list[int]]] = {}
+        self.prepare_seconds = 0.0
+        self.source = source
+        #: Set by validate_trace after a (vectorized, whole-trace)
+        #: structural check, so a sweep validates each trace once
+        #: instead of once per configuration.
+        self.validated = False
+
+    # ------------------------------------------------------ list protocol
+
+    def __len__(self) -> int:
+        return self._array.shape[0]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                tuple(int(value) for value in row)
+                for row in self._array[index]
+            ]
+        return tuple(int(value) for value in self._array[index])
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        columns = self._field_columns()
+        return zip(*columns)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PreparedTrace):
+            return np.array_equal(self._array, other._array)
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self):
+                return False
+            return all(mine == theirs for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    def __hash__(self) -> None:  # pragma: no cover - mirrors list
+        raise TypeError("unhashable type: 'PreparedTrace'")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreparedTrace({len(self)} records, source={self.source!r})"
+        )
+
+    # ---------------------------------------------------------- columns
+
+    @property
+    def array(self) -> np.ndarray:
+        """The backing ``(n, 6)`` int64 array (possibly memory-mapped)."""
+        return self._array
+
+    def to_records(self) -> list[TraceRecord]:
+        """Materialize the plain ``list[TraceRecord]`` representation."""
+        return [tuple(row) for row in self._array.tolist()]
+
+    def _field_columns(self) -> tuple[list, ...]:
+        """The six record fields plus kind-class flags, as Python lists."""
+        if self._columns is None:
+            self._columns = (
+                self.pc.tolist(),
+                self.kind.tolist(),
+                self.dst.tolist(),
+                self.src1.tolist(),
+                self.src2.tolist(),
+                self.addr.tolist(),
+            )
+        return self._columns
+
+    def lines(self, line_shift: int) -> tuple[list[int], list[int]]:
+        """(I-line, D-line) index lists for one cache-line shift."""
+        cached = self._line_lists.get(line_shift)
+        if cached is None:
+            ilines = np.right_shift(self.pc, line_shift).tolist()
+            dlines = np.right_shift(self.addr, line_shift).tolist()
+            cached = (ilines, dlines)
+            self._line_lists[line_shift] = cached
+        return cached
+
+    def rows(self, line_shift: int) -> Iterator[tuple]:
+        """Hot-loop iterator: ``(pc, kind, dst, src1, src2, addr, is_mem,
+        is_fp_dispatch, iline, dline)`` per record, all plain Python
+        scalars out of precomputed lists."""
+        pc, kind, dst, src1, src2, addr = self._field_columns()
+        if self._flag_lists is None:
+            self._flag_lists = (
+                self.mem_mask.tolist(),
+                self.fp_dispatch_mask.tolist(),
+            )
+        mem_flags, fp_dispatch_flags = self._flag_lists
+        ilines, dlines = self.lines(line_shift)
+        return zip(
+            pc, kind, dst, src1, src2, addr,
+            mem_flags, fp_dispatch_flags, ilines, dlines,
+        )
+
+
+def prepare_trace(
+    trace: "Sequence[TraceRecord] | np.ndarray | PreparedTrace",
+    *,
+    workload: str | None = None,
+    source: str = "records",
+) -> PreparedTrace:
+    """Build a :class:`PreparedTrace` (idempotent on prepared input).
+
+    Records a ``trace_prepare`` span when host-side tracing is active and
+    accumulates the process-wide prepare gauges either way.
+    """
+    global _PREPARE_COUNT, _PREPARE_SECONDS
+    if isinstance(trace, PreparedTrace):
+        return trace
+    from repro.telemetry import tracing
+
+    started = time.perf_counter()
+    with tracing.span(
+        "trace_prepare", "trace", workload=workload or "?", source=source
+    ):
+        if isinstance(trace, np.ndarray):
+            array = trace
+            if array.dtype != np.int64:
+                array = array.astype(np.int64)
+        else:
+            array = np.asarray(trace, dtype=np.int64).reshape(len(trace), 6)
+        prepared = PreparedTrace(array, source=source)
+    elapsed = time.perf_counter() - started
+    prepared.prepare_seconds = elapsed
+    _PREPARE_COUNT += 1
+    _PREPARE_SECONDS += elapsed
+    return prepared
+
+
+def compute_stats_prepared(
+    trace: PreparedTrace, line_size: int = 32
+) -> TraceStats:
+    """Vectorized :func:`repro.func.trace.compute_stats` over the columns.
+
+    Exactly equal to the record-loop implementation on the same trace —
+    ``tests/test_prepared.py`` asserts the equivalence over both suites.
+    """
+    stats = TraceStats(line_size=line_size)
+    shift = line_size.bit_length() - 1
+    stats.total = len(trace)
+    if not stats.total:
+        return stats
+    kinds, counts = np.unique(trace.kind, return_counts=True)
+    stats.by_kind = {
+        Kind(int(kind)): int(count) for kind, count in zip(kinds, counts)
+    }
+    stats.taken_branches = int(trace.branch_taken_mask.sum())
+    stats.unique_code_lines = int(
+        np.unique(np.right_shift(trace.pc, shift)).size
+    )
+    data_mask = trace.mem_mask & (trace.kind != _FP_MOVE)
+    stats.unique_data_lines = int(
+        np.unique(np.right_shift(trace.addr[data_mask], shift)).size
+    )
+    return stats

@@ -95,8 +95,19 @@ class TraceStats:
         return self.unique_data_lines * self.line_size
 
 
-def compute_stats(trace: list[TraceRecord], line_size: int = 32) -> TraceStats:
-    """Compute mix and footprint statistics for a trace."""
+def compute_stats(trace, line_size: int = 32) -> TraceStats:
+    """Compute mix and footprint statistics for a trace.
+
+    Accepts a plain ``list[TraceRecord]`` or a
+    :class:`~repro.func.prepared.PreparedTrace`; the prepared form is
+    computed vectorized over its numpy columns (identical results — the
+    regression test in ``tests/test_prepared.py`` holds both
+    implementations to exact equality on both suites).
+    """
+    from repro.func import prepared as _prepared
+
+    if isinstance(trace, _prepared.PreparedTrace):
+        return _prepared.compute_stats_prepared(trace, line_size)
     stats = TraceStats(line_size=line_size)
     by_kind: dict[int, int] = {}
     code_lines: set[int] = set()
@@ -167,6 +178,45 @@ def load_trace(path: str) -> list[TraceRecord]:
             f"{path}: trace array dtype {array.dtype} is not integral"
         )
     return [tuple(int(v) for v in row) for row in array]
+
+
+def save_trace_array(path: str, array: np.ndarray) -> None:
+    """Persist a trace's ``(n, 6)`` array uncompressed (cache format v2).
+
+    A plain ``.npy`` file, so readers can map it with
+    ``np.load(mmap_mode="r")`` and parallel workers share the pages
+    through the OS page cache instead of each re-decompressing a zip
+    archive (the v1 ``save_trace`` format).
+    """
+    if array.ndim != 2 or (array.size and array.shape[1] != 6):
+        raise ValueError(
+            f"trace array must have shape (n, 6), got {array.shape}"
+        )
+    np.save(path, np.ascontiguousarray(array, dtype=np.int64))
+
+
+def load_trace_array(path: str, *, mmap: bool = True) -> np.ndarray:
+    """Load a v2 trace array, memory-mapped read-only by default.
+
+    Raises :class:`TraceIOError` on unreadable/truncated files or a
+    malformed array — the trace cache treats that as a miss and deletes
+    the entry (self-healing, same contract as :func:`load_trace`).
+    """
+    try:
+        array = np.load(path, mmap_mode="r" if mmap else None)
+    except (OSError, ValueError, EOFError) as error:
+        raise TraceIOError(f"{path}: unreadable trace array: {error}") from None
+    if not isinstance(array, np.ndarray):
+        raise TraceIOError(f"{path}: not a numpy array file")
+    if array.ndim != 2 or (array.size and array.shape[1] != 6):
+        raise TraceIOError(
+            f"{path}: trace array has shape {array.shape}, expected (n, 6)"
+        )
+    if not np.issubdtype(array.dtype, np.integer):
+        raise TraceIOError(
+            f"{path}: trace array dtype {array.dtype} is not integral"
+        )
+    return array
 
 
 def is_memory_kind(kind: int) -> bool:

@@ -85,6 +85,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.func.prepared import prepare_snapshot
 from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
 from repro.telemetry import tracing
 from repro.telemetry.metrics import MetricsRegistry, publish_stats
@@ -125,6 +126,11 @@ class ExperimentOutcome:
     #: Persistent trace-cache hits/misses attributed to this experiment.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Columnar trace preparations (and their wall seconds) attributed to
+    #: this experiment — near zero on warm sweeps, where every config
+    #: reuses the workload's already-prepared columns.
+    prepares: int = 0
+    prepare_seconds: float = 0.0
 
     @property
     def succeeded(self) -> bool:
@@ -245,15 +251,19 @@ def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
         worker_tracer = SpanTracer(trace_id)
         tracing.set_tracer(worker_tracer)
     base_hits, base_misses = trace_cache.snapshot()
+    base_prepares, base_prepare_seconds = prepare_snapshot()
     started = time.monotonic()
 
     def _envelope(payload: dict) -> dict:
         hits, misses = trace_cache.snapshot()
+        prepares, prepare_seconds = prepare_snapshot()
         payload.update(
             wall=time.monotonic() - started,
             pid=os.getpid(),
             cache_hits=hits - base_hits,
             cache_misses=misses - base_misses,
+            prepares=prepares - base_prepares,
+            prepare_seconds=prepare_seconds - base_prepare_seconds,
         )
         if worker_tracer is not None:
             payload["spans"] = worker_tracer.finished_records()
@@ -472,6 +482,8 @@ class ResilientRunner:
         #: Simulated work finished by this sweep (for throughput gauges);
         #: only experiments whose results expose ``.stats`` contribute.
         sim_totals = {"cycles": 0, "instructions": 0}
+        #: Columnar trace preparation time across the sweep (gauge input).
+        prepare_totals = {"seconds": 0.0}
         registry = MetricsRegistry()
         registry.gauge("runner.factor").set(factor)
         registry.gauge("runner.jobs").set(self.jobs)
@@ -483,6 +495,14 @@ class ResilientRunner:
             registry.counter("runner.trace_cache_misses").inc(
                 outcome.cache_misses
             )
+            if outcome.prepares:
+                registry.counter("runner.traces_prepared").inc(
+                    outcome.prepares
+                )
+                prepare_totals["seconds"] += outcome.prepare_seconds
+                registry.gauge("runner.trace_prepare_seconds").set(
+                    prepare_totals["seconds"]
+                )
             if outcome.status == "ok":
                 registry.histogram("runner.elapsed_seconds").observe(
                     outcome.elapsed
@@ -512,6 +532,10 @@ class ResilientRunner:
             per_exp.counter("runner.trace_cache_hits").inc(outcome.cache_hits)
             per_exp.counter("runner.trace_cache_misses").inc(
                 outcome.cache_misses
+            )
+            per_exp.counter("runner.traces_prepared").inc(outcome.prepares)
+            per_exp.gauge("runner.trace_prepare_seconds").set(
+                outcome.prepare_seconds
             )
             per_exp.gauge("runner.elapsed_seconds").set(outcome.elapsed)
             per_exp.gauge("runner.ok").set(1.0 if outcome.succeeded else 0.0)
@@ -654,10 +678,15 @@ class ResilientRunner:
         attempts = 0
         started = self._clock()
         base_hits, base_misses = trace_cache.snapshot()
+        base_prepares, base_prepare_seconds = prepare_snapshot()
 
         def cache_delta() -> tuple[int, int]:
             hits, misses = trace_cache.snapshot()
             return hits - base_hits, misses - base_misses
+
+        def prepare_delta() -> tuple[int, float]:
+            prepares, seconds = prepare_snapshot()
+            return prepares - base_prepares, seconds - base_prepare_seconds
 
         while True:
             attempts += 1
@@ -666,6 +695,7 @@ class ResilientRunner:
                 text = result.render()
                 elapsed = self._clock() - started
                 hits, misses = cache_delta()
+                prepares, prepare_seconds = prepare_delta()
                 return (
                     ExperimentOutcome(
                         exp_id,
@@ -674,6 +704,8 @@ class ResilientRunner:
                         elapsed,
                         cache_hits=hits,
                         cache_misses=misses,
+                        prepares=prepares,
+                        prepare_seconds=prepare_seconds,
                     ),
                     text,
                     result,
@@ -681,6 +713,7 @@ class ResilientRunner:
             except ExperimentTimeout as error:
                 elapsed = self._clock() - started
                 hits, misses = cache_delta()
+                prepares, prepare_seconds = prepare_delta()
                 return (
                     ExperimentOutcome(
                         exp_id,
@@ -690,6 +723,8 @@ class ResilientRunner:
                         str(error),
                         cache_hits=hits,
                         cache_misses=misses,
+                        prepares=prepares,
+                        prepare_seconds=prepare_seconds,
                     ),
                     None,
                     None,
@@ -705,6 +740,7 @@ class ResilientRunner:
                 elapsed = self._clock() - started
                 cause = f"{type(error).__name__}: {error}"
                 hits, misses = cache_delta()
+                prepares, prepare_seconds = prepare_delta()
                 return (
                     ExperimentOutcome(
                         exp_id,
@@ -714,6 +750,8 @@ class ResilientRunner:
                         cause,
                         cache_hits=hits,
                         cache_misses=misses,
+                        prepares=prepares,
+                        prepare_seconds=prepare_seconds,
                     ),
                     None,
                     None,
@@ -975,6 +1013,10 @@ class ResilientRunner:
                                 worker=worker,
                                 cache_hits=envelope["cache_hits"],
                                 cache_misses=envelope["cache_misses"],
+                                prepares=envelope.get("prepares", 0),
+                                prepare_seconds=envelope.get(
+                                    "prepare_seconds", 0.0
+                                ),
                             ),
                             envelope["text"],
                             envelope["result"],
@@ -1012,6 +1054,10 @@ class ResilientRunner:
                             worker=worker,
                             cache_hits=envelope["cache_hits"],
                             cache_misses=envelope["cache_misses"],
+                            prepares=envelope.get("prepares", 0),
+                            prepare_seconds=envelope.get(
+                                "prepare_seconds", 0.0
+                            ),
                         ),
                         None,
                         None,

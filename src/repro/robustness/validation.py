@@ -7,11 +7,16 @@ garbage-in paths the experiment layer feeds the simulator:
 
 * **Traces** — :func:`validate_trace` structurally checks trace records
   (6-int tuples, a known timing kind, register ids inside the unified
-  space, non-negative pc/addr).  Full-trace validation would double the
-  cost of a timing run on multi-million-instruction traces, so it checks
-  a deterministic sample: the first ``head`` records exhaustively plus
-  every ``stride``-th record beyond — enough to catch format drift and
-  systematic corruption while staying O(n/stride).
+  space, non-negative pc/addr).  Full-trace record-by-record validation
+  would double the cost of a timing run on multi-million-instruction
+  traces, so plain record lists get a deterministic sample: the first
+  ``head`` records exhaustively plus every ``stride``-th record beyond —
+  enough to catch format drift and systematic corruption while staying
+  O(n/stride).  Columnar :class:`~repro.func.prepared.PreparedTrace`
+  inputs get the *stronger* check for less: every record is validated in
+  a handful of vectorized numpy passes, once per trace object (the
+  result is memoized on the instance, so a sweep re-validating the same
+  trace per configuration pays nothing after the first).
 * **Factors and scales** — :func:`validate_factor` /
   :func:`validate_scale` reject the zero/negative/NaN values that today
   would silently produce nonsense workload sizes deep inside
@@ -27,6 +32,7 @@ from repro.func.trace import NUM_UNIFIED_REGS
 from repro.isa.instructions import Kind
 
 _VALID_KINDS = frozenset(int(kind) for kind in Kind)
+_VALID_KIND_LIST = sorted(_VALID_KINDS)
 
 #: Exhaustively validated prefix length.
 _HEAD = 4096
@@ -87,6 +93,13 @@ def validate_trace(
         if allow_empty:
             return
         raise TraceValidationError("trace is empty: nothing to simulate")
+    from repro.func.prepared import PreparedTrace
+
+    if isinstance(trace, PreparedTrace):
+        if not trace.validated:
+            _validate_prepared(trace)
+            trace.validated = True
+        return
     for index in range(min(head, length)):
         problem = _record_problem(trace[index])
         if problem is not None:
@@ -95,6 +108,32 @@ def validate_trace(
         problem = _record_problem(trace[index])
         if problem is not None:
             raise TraceValidationError(f"trace record {index}: {problem}")
+
+
+def _validate_prepared(trace) -> None:
+    """Vectorized whole-trace structural check for a PreparedTrace.
+
+    The columnar layout already guarantees 6 integer fields per record
+    (enforced at construction), so only the value-range rules remain —
+    one boolean mask covers them all.  On failure, the first offending
+    index is located and the record delegated to :func:`_record_problem`
+    so the error message matches the record-loop path exactly.
+    """
+    import numpy as np
+
+    bad = (
+        (trace.pc < 0)
+        | ((trace.pc & 3) != 0)
+        | (trace.addr < 0)
+        | ~np.isin(trace.kind, _VALID_KIND_LIST)
+    )
+    for column in (trace.dst, trace.src1, trace.src2):
+        bad |= (column < -1) | (column >= NUM_UNIFIED_REGS)
+    if not bad.any():
+        return
+    index = int(np.argmax(bad))
+    problem = _record_problem(trace[index])
+    raise TraceValidationError(f"trace record {index}: {problem}")
 
 
 def validate_factor(factor: float, *, where: str = "factor") -> float:

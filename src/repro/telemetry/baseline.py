@@ -22,8 +22,11 @@ Document format (``version`` 1)::
 
 Comparisons are only meaningful between like runs, so ``compare``
 refuses to judge a record against a baseline with a different
-``(workload, factor, config)`` key — a changed sweep is a new series,
-not a regression.
+``(workload, factor, config, trace_path)`` key — a changed sweep is a
+new series, not a regression.  ``trace_path`` ("prepared" | "tuples",
+which trace representation the simulator consumed) is optional in the
+document for compatibility with records written before it existed;
+absent means "tuples", the only path that existed then.
 """
 
 from __future__ import annotations
@@ -57,6 +60,16 @@ _SCHEMA: dict[str, tuple[type, ...]] = {
     "cache_misses": (int,),
 }
 
+#: Optional fields (absent in pre-existing records): name -> (accepted
+#: types, allowed values or None).
+_OPTIONAL_SCHEMA: dict[str, tuple[tuple[type, ...], tuple | None]] = {
+    "trace_path": ((str,), ("prepared", "tuples")),
+}
+
+#: What an absent ``trace_path`` means: every record written before the
+#: field existed came from the plain record-list path.
+LEGACY_TRACE_PATH = "tuples"
+
 
 class BaselineError(ValueError):
     """A perf record or history document is malformed; names the field."""
@@ -88,6 +101,20 @@ def validate_record(payload: object, *, where: str = "record") -> dict:
             raise BaselineError(
                 f"{where}: field {name!r} must be >= 0, "
                 f"got {payload[name]!r}"
+            )
+    for name, (types, allowed) in _OPTIONAL_SCHEMA.items():
+        if name not in payload:
+            continue
+        value = payload[name]
+        if not isinstance(value, types) or isinstance(value, bool):
+            expected = "/".join(t.__name__ for t in types)
+            raise BaselineError(
+                f"{where}: field {name!r} must be {expected}, got {value!r}"
+            )
+        if allowed is not None and value not in allowed:
+            raise BaselineError(
+                f"{where}: field {name!r} must be one of "
+                f"{'/'.join(map(str, allowed))}, got {value!r}"
             )
     return dict(payload)
 
@@ -228,8 +255,10 @@ class PerfHistory:
         """Compare ``record`` against the stored baseline.
 
         Raises :class:`BaselineError` when no baseline is stored or when
-        the baseline belongs to a different (workload, factor, config)
-        series.
+        the baseline belongs to a different (workload, factor, config,
+        trace_path) series — in particular, a prepared-path run is never
+        judged against a tuple-path baseline (or vice versa): the
+        representations have different throughput by design.
         """
         if not 0 < threshold < 1:
             raise BaselineError(
@@ -242,12 +271,14 @@ class PerfHistory:
                 f"{self.path}: no baseline stored — seed one with "
                 "'aurora-sim perf --seed-baseline' first"
             )
-        for key in ("workload", "factor", "config"):
-            if record[key] != baseline[key]:
+        for key in ("workload", "factor", "config", "trace_path"):
+            mine = record.get(key, LEGACY_TRACE_PATH)
+            theirs = baseline.get(key, LEGACY_TRACE_PATH)
+            if mine != theirs:
                 raise BaselineError(
                     f"{self.path}: baseline is for "
-                    f"{key}={baseline[key]!r} but this run has "
-                    f"{key}={record[key]!r}; re-seed the baseline for "
+                    f"{key}={theirs!r} but this run has "
+                    f"{key}={mine!r}; re-seed the baseline for "
                     "the new series"
                 )
         return RegressionCheck(

@@ -2,20 +2,30 @@
 
 Each kernel module registers a builder with :func:`workload`; users get
 programs and traces through :func:`build_program` / :func:`get_trace`.
-Traces are memoised per ``(name, scale)`` because the experiment drivers
-time the same trace on dozens of machine configurations; behind the
-memo sits the persistent disk tier of
+Traces come back as columnar :class:`~repro.func.prepared.PreparedTrace`
+objects, memoised per ``(name, scale)`` because the experiment drivers
+time the same trace on dozens of machine configurations — the trace is
+built (or mapped off disk) and *prepared* once per process, and every
+configuration in the sweep reuses the same prepared columns.  Behind
+the memo sits the persistent disk tier of
 :mod:`repro.workloads.trace_cache`, so fresh processes (repeat CLI runs,
-process-pool workers) load traces instead of re-running the functional
-simulator.  Lookup order: memory -> disk -> build (and populate both).
+process-pool workers) memory-map traces instead of re-running the
+functional simulator.  Lookup order: memory -> disk -> build (and
+populate both).
+
+``REPRO_TRACE_PATH=tuples`` forces :func:`get_trace` to hand out plain
+``list[TraceRecord]`` traces instead (the pre-columnar representation);
+CI uses it to byte-diff whole experiment sweeps across the two paths.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.func.machine import run_program
+from repro.func.prepared import PreparedTrace, prepare_trace
 from repro.func.trace import TraceRecord
 from repro.isa.program import Program
 from repro.workloads import trace_cache
@@ -48,7 +58,25 @@ class WorkloadSpec:
 
 
 _REGISTRY: dict[str, WorkloadSpec] = {}
-_TRACE_CACHE: dict[tuple[str, int], list[TraceRecord]] = {}
+#: (name, scale, representation) -> trace.  The representation key keeps
+#: the prepared and tuple forms from shadowing each other when
+#: ``REPRO_TRACE_PATH`` flips mid-process (tests do this).
+_TRACE_CACHE: dict[
+    tuple[str, int, str], "PreparedTrace | list[TraceRecord]"
+] = {}
+
+#: Environment toggle: "prepared" (default) or "tuples".
+ENV_TRACE_PATH = "REPRO_TRACE_PATH"
+
+
+def trace_path_mode() -> str:
+    """The active trace representation ("prepared" or "tuples")."""
+    mode = os.environ.get(ENV_TRACE_PATH, "prepared").lower() or "prepared"
+    if mode not in ("prepared", "tuples"):
+        raise ValueError(
+            f"{ENV_TRACE_PATH} must be 'prepared' or 'tuples', got {mode!r}"
+        )
+    return mode
 
 
 class WorkloadError(KeyError):
@@ -100,30 +128,40 @@ def build_program(name: str, scale: int | None = None) -> Program:
     return spec.builder(scale if scale is not None else spec.default_scale)
 
 
-def get_trace(name: str, scale: int | None = None) -> list[TraceRecord]:
-    """Dynamic trace for the named kernel (memory -> disk -> build)."""
+def get_trace(
+    name: str, scale: int | None = None
+) -> "PreparedTrace | list[TraceRecord]":
+    """Dynamic trace for the named kernel (memory -> disk -> build).
+
+    Returns a columnar :class:`~repro.func.prepared.PreparedTrace`
+    (prepared once per process and shared by every configuration that
+    sweeps it), or a plain record list under ``REPRO_TRACE_PATH=tuples``.
+    """
     from repro.telemetry import tracing
 
     spec = get_spec(name)
     effective = scale if scale is not None else spec.default_scale
-    key = (name, effective)
+    mode = trace_path_mode()
+    key = (name, effective, mode)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         disk = trace_cache.default_cache()
         with tracing.span(
             "cache_lookup", "trace", workload=name, scale=effective
         ) as lookup_span:
-            trace = disk.load(name, effective)
+            prepared = disk.load(name, effective)
             if lookup_span is not None:
-                lookup_span.annotate(hit=trace is not None)
-        if trace is None:
+                lookup_span.annotate(hit=prepared is not None)
+        if prepared is None:
             with tracing.span(
                 "trace_build", "trace", workload=name, scale=effective
             ):
                 program = spec.builder(effective)
                 result = run_program(program, max_instructions=50_000_000)
-                trace = result.trace
-                disk.store(name, effective, trace)
+                records = result.trace
+                disk.store(name, effective, records)
+            prepared = prepare_trace(records, workload=name, source="build")
+        trace = prepared.to_records() if mode == "tuples" else prepared
         _TRACE_CACHE[key] = trace
     return trace
 
@@ -133,11 +171,15 @@ def clear_trace_cache() -> None:
     _TRACE_CACHE.clear()
 
 
-def integer_traces(scale: int | None = None) -> dict[str, list[TraceRecord]]:
+def integer_traces(
+    scale: int | None = None,
+) -> "dict[str, PreparedTrace | list[TraceRecord]]":
     """Traces for the whole integer suite, in paper order."""
     return {name: get_trace(name, scale) for name in INTEGER_SUITE}
 
 
-def fp_traces(scale: int | None = None) -> dict[str, list[TraceRecord]]:
+def fp_traces(
+    scale: int | None = None,
+) -> "dict[str, PreparedTrace | list[TraceRecord]]":
     """Traces for the whole FP suite, in paper order."""
     return {name: get_trace(name, scale) for name in FP_SUITE}

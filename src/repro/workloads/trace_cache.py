@@ -3,14 +3,29 @@
 The in-memory ``(name, scale)`` memo in :mod:`repro.workloads.registry`
 dies with the process, so every fresh CLI run — and every process-pool
 worker — used to re-execute the functional simulator for every workload
-it touched.  This module gives traces a second, durable tier: compact
-numpy archives under ``results/.trace_cache/`` (override with
+it touched.  This module gives traces a second, durable tier: numpy
+files under ``results/.trace_cache/`` (override with
 ``$REPRO_TRACE_CACHE_DIR``; disable with ``$REPRO_TRACE_CACHE=off`` or
 ``--no-trace-cache``).
 
-Invalidation key.  A cache file is named
-``<workload>-s<scale>-<fingerprint>.npz`` where the fingerprint hashes
-every ``.py`` source file of the packages that determine trace content —
+Format v2 (current).  A cache entry is an **uncompressed** ``.npy``
+array named ``<workload>-s<scale>-<fingerprint>.v2.npy``, loaded with
+``np.load(mmap_mode="r")`` and wrapped in a
+:class:`~repro.func.prepared.PreparedTrace`.  Uncompressed-and-mapped
+beats the old compressed archive twice over: loads are lazy (no zip
+inflate before the first record is touched), and parallel sweep workers
+share the file's pages through the OS page cache instead of each
+holding a private decompressed copy.
+
+Format v1 (legacy).  Compressed ``.npz`` archives written by
+:func:`repro.func.trace.save_trace`.  A v1 entry found where no v2
+exists is **transparently rebuilt**: loaded once, rewritten as v2, and
+the v1 file deleted — counted as a hit (``v1_rebuilds`` tracks the
+migration).  A v1 file that fails to load is deleted and counted as a
+miss, exactly like any corrupt entry.
+
+Invalidation key.  The 16-hex fingerprint in the file name hashes every
+``.py`` source file of the packages that determine trace content —
 ``repro.isa`` (encoding), ``repro.func`` (functional execution) and
 ``repro.workloads`` (the kernel builders).  Editing any of them changes
 the fingerprint, so stale traces are never loaded; they linger only
@@ -24,7 +39,9 @@ simulation results.
 
 Eviction.  The cache holds at most ``max_entries`` files; inserting past
 the bound deletes the oldest files by modification time.  Corrupt or
-format-incompatible files are treated as misses and deleted on contact.
+format-incompatible files are treated as misses and deleted on contact
+(a truncated v2 file self-heals the same way: the mmap fails to
+validate, the entry is dropped, and the next store rewrites it).
 """
 
 from __future__ import annotations
@@ -35,17 +52,32 @@ import os
 import pathlib
 import tempfile
 
-from repro.func.trace import TraceIOError, TraceRecord, load_trace, save_trace
+import numpy as np
+
+from repro.func.prepared import PreparedTrace, prepare_trace
+from repro.func.trace import (
+    TraceIOError,
+    TraceRecord,
+    load_trace,
+    load_trace_array,
+    save_trace_array,
+)
 
 #: Default cache location (relative to the working directory).
 DEFAULT_ROOT = pathlib.Path("results") / ".trace_cache"
 #: Default bound on the number of cached trace files.
 DEFAULT_MAX_ENTRIES = 128
 
+#: On-disk cache format version (encoded in the v2 file suffix).
+CACHE_FORMAT_VERSION = 2
+
 #: Environment overrides (read once per process at first use).
 ENV_DIR = "REPRO_TRACE_CACHE_DIR"
 ENV_SWITCH = "REPRO_TRACE_CACHE"
 _OFF_VALUES = ("0", "off", "no", "false", "disabled")
+
+#: Glob patterns covering every cache generation (eviction, clear).
+_ENTRY_PATTERNS = ("*.npz", "*.npy")
 
 
 @functools.lru_cache(maxsize=1)
@@ -71,6 +103,10 @@ class TraceCache:
     ``hits`` / ``misses`` / ``stores`` count disk lookups in this
     process; the experiment runner snapshots them around each experiment
     so cache behaviour is visible in its :class:`RunReport`.
+    ``mmap_loads`` counts v2 entries served straight off a memory map,
+    and ``v1_rebuilds`` counts legacy entries migrated to v2 on contact
+    — CI's warm-cache check asserts a warm sweep is all mmap loads and
+    zero rebuilds.
     """
 
     def __init__(
@@ -88,42 +124,76 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.mmap_loads = 0
+        self.v1_rebuilds = 0
 
     # ------------------------------------------------------------- paths
 
     def path_for(self, name: str, scale: int) -> pathlib.Path:
+        """Current-format (v2) entry path."""
+        return self.root / f"{name}-s{scale}-{trace_fingerprint()}.v2.npy"
+
+    def v1_path_for(self, name: str, scale: int) -> pathlib.Path:
+        """Legacy compressed-archive (v1) entry path."""
         return self.root / f"{name}-s{scale}-{trace_fingerprint()}.npz"
 
     # ------------------------------------------------------------ lookup
 
-    def load(self, name: str, scale: int) -> list[TraceRecord] | None:
-        """Cached trace for ``(name, scale)``, or None (counted as a miss).
+    def load(self, name: str, scale: int) -> PreparedTrace | None:
+        """Cached prepared trace for ``(name, scale)``, or None (a miss).
 
-        A disabled cache always misses.  A corrupt or stale-format file
-        is deleted and counted as a miss.
+        A disabled cache always misses.  A corrupt, truncated or
+        stale-format file is deleted and counted as a miss; a legacy v1
+        entry is migrated to v2 on contact and counted as a hit.
         """
         if not self.enabled:
             self.misses += 1
             return None
         path = self.path_for(name, scale)
-        if not path.exists():
-            self.misses += 1
-            return None
-        try:
-            trace = load_trace(path)
-        except TraceIOError:
-            # Unreadable entry: drop it so it cannot poison later runs.
+        if path.exists():
             try:
-                path.unlink()
+                array = load_trace_array(path, mmap=True)
+            except TraceIOError:
+                # Unreadable/truncated v2 entry: self-heal by dropping it.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                self.hits += 1
+                self.mmap_loads += 1
+                return prepare_trace(array, workload=name, source="mmap")
+        v1_path = self.v1_path_for(name, scale)
+        if v1_path.exists():
+            try:
+                records = load_trace(v1_path)
+            except TraceIOError:
+                try:
+                    v1_path.unlink()
+                except OSError:
+                    pass
+                self.misses += 1
+                return None
+            # Transparent migration: rewrite as v2, drop the archive.
+            prepared = prepare_trace(records, workload=name, source="v1")
+            self.store(name, scale, prepared)
+            try:
+                v1_path.unlink()
             except OSError:
                 pass
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trace
+            self.hits += 1
+            self.v1_rebuilds += 1
+            return prepared
+        self.misses += 1
+        return None
 
-    def store(self, name: str, scale: int, trace: list[TraceRecord]) -> None:
-        """Persist ``trace`` atomically, then enforce the eviction bound.
+    def store(
+        self,
+        name: str,
+        scale: int,
+        trace: "list[TraceRecord] | PreparedTrace | np.ndarray",
+    ) -> None:
+        """Persist ``trace`` atomically as v2, then enforce the bound.
 
         Never raises on I/O failure — a read-only or full disk degrades
         to an unpopulated cache, not a failed experiment.
@@ -132,6 +202,12 @@ class TraceCache:
             return
         from repro.telemetry import tracing
 
+        if isinstance(trace, PreparedTrace):
+            array = trace.array
+        elif isinstance(trace, np.ndarray):
+            array = trace
+        else:
+            array = np.asarray(trace, dtype=np.int64).reshape(len(trace), 6)
         path = self.path_for(name, scale)
         with tracing.span(
             "cache_store", "trace", workload=name, scale=scale
@@ -143,9 +219,9 @@ class TraceCache:
                 )
                 os.close(fd)
                 try:
-                    save_trace(tmp_name, trace)
-                    # numpy appends .npz when the target lacks the suffix
-                    tmp = pathlib.Path(tmp_name + ".npz")
+                    save_trace_array(tmp_name, array)
+                    # numpy appends .npy when the target lacks the suffix
+                    tmp = pathlib.Path(tmp_name + ".npy")
                     tmp.replace(path)
                 finally:
                     pathlib.Path(tmp_name).unlink(missing_ok=True)
@@ -161,7 +237,8 @@ class TraceCache:
         try:
             files = [
                 (entry.stat().st_mtime, entry)
-                for entry in self.root.glob("*.npz")
+                for pattern in _ENTRY_PATTERNS
+                for entry in self.root.glob(pattern)
             ]
         except OSError:
             return
@@ -179,11 +256,12 @@ class TraceCache:
         """Delete every cache file (the directory itself stays)."""
         if not self.root.is_dir():
             return
-        for entry in self.root.glob("*.npz"):
-            try:
-                entry.unlink()
-            except OSError:
-                pass
+        for pattern in _ENTRY_PATTERNS:
+            for entry in self.root.glob(pattern):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
 
     def snapshot(self) -> tuple[int, int]:
         """(hits, misses) so far — for delta accounting around a run."""

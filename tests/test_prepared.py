@@ -1,0 +1,257 @@
+"""PreparedTrace: semantics preservation, stats regression, protocol.
+
+The contract under test is the one docs/MODELING.md states: columnar
+preparation is *semantics-preserving*.  A prepared trace must behave like
+the record list it came from (sequence protocol), the timing model must
+produce byte-identical SimStats on either representation, and the
+vectorized ``compute_stats`` must exactly match the record-loop
+implementation — across every workload in both suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import baseline_model, large_model, small_model
+from repro.core.processor import simulate_trace
+from repro.experiments.common import scaled_trace
+from repro.func.prepared import (
+    PreparedTrace,
+    compute_stats_prepared,
+    prepare_snapshot,
+    prepare_trace,
+)
+from repro.func.trace import compute_stats
+from repro.isa.instructions import Kind
+from repro.workloads import registry
+from repro.workloads.registry import FP_SUITE, INTEGER_SUITE
+
+#: The acceptance factor: small enough to keep the sweep quick, large
+#: enough that every workload still exercises its interesting paths.
+FACTOR = 0.05
+ALL_NAMES = INTEGER_SUITE + FP_SUITE
+
+
+def _tiny_records():
+    alu, load, branch = int(Kind.ALU), int(Kind.LOAD), int(Kind.BRANCH)
+    return [
+        (4096, alu, 8, 9, 10, 0),
+        (4100, load, 11, 8, -1, 8192),
+        (4104, branch, -1, 11, 8, 4096),  # taken
+        (4108, branch, -1, 11, 8, 0),  # not taken
+    ]
+
+
+# ------------------------------------------------------- timing identity
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_simstats_identical_on_both_representations(name):
+    """Acceptance: prepared-path SimStats == tuple-path SimStats."""
+    prepared = scaled_trace(name, FACTOR)
+    assert isinstance(prepared, PreparedTrace)
+    records = prepared.to_records()
+    config = baseline_model()
+    assert (
+        simulate_trace(prepared, config).stats
+        == simulate_trace(records, config).stats
+    )
+
+
+@pytest.mark.parametrize(
+    "make_config", [small_model, baseline_model, large_model]
+)
+def test_simstats_identical_across_configs(make_config):
+    """One trace, several machine shapes: identity holds per config."""
+    prepared = scaled_trace("espresso", FACTOR)
+    records = prepared.to_records()
+    config = make_config()
+    assert (
+        simulate_trace(prepared, config).stats
+        == simulate_trace(records, config).stats
+    )
+
+
+def test_simstats_identical_on_synthetic_traces(counting_trace, streaming_trace):
+    config = baseline_model()
+    for records in (counting_trace, streaming_trace):
+        prepared = prepare_trace(records)
+        assert (
+            simulate_trace(prepared, config).stats
+            == simulate_trace(records, config).stats
+        )
+
+
+# ----------------------------------------------------- stats regression
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_compute_stats_vectorized_matches_loop(name):
+    """Satellite: vectorized compute_stats == loop compute_stats."""
+    prepared = scaled_trace(name, FACTOR)
+    records = prepared.to_records()
+    assert compute_stats(prepared) == compute_stats(records)
+
+
+def test_compute_stats_dispatches_to_vectorized(monkeypatch):
+    prepared = prepare_trace(_tiny_records())
+    seen = {}
+
+    def spy(trace, line_size=32):
+        seen["called"] = True
+        return compute_stats_prepared(trace, line_size)
+
+    monkeypatch.setattr(
+        "repro.func.prepared.compute_stats_prepared", spy
+    )
+    compute_stats(prepared)
+    assert seen.get("called")
+
+
+def test_compute_stats_empty_and_nondefault_line_size():
+    assert compute_stats(prepare_trace([])) == compute_stats([])
+    records = _tiny_records()
+    assert compute_stats(prepare_trace(records), line_size=64) == compute_stats(
+        records, line_size=64
+    )
+
+
+def test_compute_stats_counts_on_tiny_trace():
+    stats = compute_stats(prepare_trace(_tiny_records()))
+    assert stats.total == 4
+    assert stats.by_kind[Kind.BRANCH] == 2
+    assert stats.taken_branches == 1
+    assert stats.unique_data_lines == 1
+
+
+# ----------------------------------------------------- sequence protocol
+
+
+class TestSequenceProtocol:
+    def test_len_index_slice_iter(self):
+        records = _tiny_records()
+        prepared = prepare_trace(records)
+        assert len(prepared) == len(records)
+        assert prepared[0] == records[0]
+        assert prepared[-1] == records[-1]
+        assert prepared[1:3] == records[1:3]
+        assert list(prepared) == records
+        # indexing yields plain-int tuples (validation does isinstance int)
+        assert all(type(v) is int for v in prepared[2])
+
+    def test_equality_both_ways(self):
+        records = _tiny_records()
+        prepared = prepare_trace(records)
+        assert prepared == records
+        assert prepared == prepare_trace(records)
+        assert prepared != records[:-1]
+        assert prepared != prepare_trace(records[:-1])
+
+    def test_unhashable_like_list(self):
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(prepare_trace(_tiny_records()))
+
+    def test_validate_trace_accepts_prepared(self):
+        from repro.robustness.validation import validate_trace
+
+        validate_trace(prepare_trace(_tiny_records()))
+
+    def test_validate_trace_rejects_bad_prepared_like_records(self):
+        """The vectorized fast path raises the same message, same index,
+        as the record-loop path would on the equivalent list."""
+        from repro.robustness.validation import (
+            TraceValidationError,
+            validate_trace,
+        )
+
+        for mutate in (
+            lambda r: r.__setitem__(2, (-4, *r[2][1:])),          # pc < 0
+            lambda r: r.__setitem__(2, (6, *r[2][1:])),           # unaligned
+            lambda r: r.__setitem__(1, (*r[1][:1], 999, *r[1][2:])),  # kind
+            lambda r: r.__setitem__(3, (*r[3][:2], 4096, *r[3][3:])),  # reg
+            lambda r: r.__setitem__(0, (*r[0][:5], -8)),          # addr < 0
+        ):
+            records = _tiny_records()
+            mutate(records)
+            with pytest.raises(TraceValidationError) as loop_err:
+                validate_trace(records)
+            with pytest.raises(TraceValidationError) as fast_err:
+                validate_trace(prepare_trace(records))
+            assert str(fast_err.value) == str(loop_err.value)
+
+    def test_validate_trace_memoizes_on_prepared(self):
+        from repro.robustness.validation import validate_trace
+
+        prepared = prepare_trace(_tiny_records())
+        assert not prepared.validated
+        validate_trace(prepared)
+        assert prepared.validated
+        validate_trace(prepared)  # second call is the memoized no-op
+
+    def test_rejects_bad_shape_and_dtype(self):
+        with pytest.raises(ValueError, match="shape"):
+            PreparedTrace(np.zeros((3, 5), dtype=np.int64))
+        with pytest.raises(ValueError, match="integral"):
+            PreparedTrace(np.zeros((3, 6)))
+
+
+# ------------------------------------------------------------ preparation
+
+
+class TestPrepare:
+    def test_idempotent(self):
+        prepared = prepare_trace(_tiny_records())
+        assert prepare_trace(prepared) is prepared
+
+    def test_round_trip(self):
+        records = _tiny_records()
+        assert prepare_trace(records).to_records() == records
+
+    def test_snapshot_advances(self):
+        count0, seconds0 = prepare_snapshot()
+        prepare_trace(_tiny_records())
+        count1, seconds1 = prepare_snapshot()
+        assert count1 == count0 + 1
+        assert seconds1 >= seconds0
+
+    def test_derived_masks(self):
+        prepared = prepare_trace(_tiny_records())
+        assert prepared.mem_mask.tolist() == [False, True, False, False]
+        assert prepared.branch_taken_mask.tolist() == [
+            False, False, True, False,
+        ]
+
+    def test_rows_match_records(self):
+        records = _tiny_records()
+        prepared = prepare_trace(records)
+        rows = list(prepared.rows(5))
+        assert [row[:6] for row in rows] == records
+        for (pc, kind, *_rest, addr), row in zip(records, rows):
+            assert row[8] == pc >> 5 and row[9] == addr >> 5
+
+
+# ------------------------------------------------------- registry wiring
+
+
+class TestRegistryTracePath:
+    def test_default_returns_prepared(self):
+        assert isinstance(registry.get_trace("sc", 7), PreparedTrace)
+
+    def test_tuples_mode_returns_records(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_TRACE_PATH, "tuples")
+        registry.clear_trace_cache()
+        try:
+            trace = registry.get_trace("sc", 7)
+            assert isinstance(trace, list)
+            assert trace and isinstance(trace[0], tuple)
+            monkeypatch.delenv(registry.ENV_TRACE_PATH)
+            registry.clear_trace_cache()
+            assert registry.get_trace("sc", 7) == trace
+        finally:
+            registry.clear_trace_cache()
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_TRACE_PATH, "rows")
+        with pytest.raises(ValueError, match="REPRO_TRACE_PATH"):
+            registry.get_trace("sc", 7)

@@ -21,6 +21,16 @@ class TestTraceCache:
         cache.store("sc", 8, _trace())
         assert cache.load("sc", 8) == _trace()
         assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+        assert cache.mmap_loads == 1  # v2 entries come back memory-mapped
+
+    def test_roundtrip_returns_prepared(self, tmp_path):
+        from repro.func.prepared import PreparedTrace
+
+        cache = TraceCache(tmp_path)
+        cache.store("sc", 8, _trace())
+        loaded = cache.load("sc", 8)
+        assert isinstance(loaded, PreparedTrace)
+        assert loaded.to_records() == _trace()
 
     def test_distinct_keys_per_name_and_scale(self, tmp_path):
         cache = TraceCache(tmp_path)
@@ -61,7 +71,7 @@ class TestTraceCache:
             stamp = 1_000_000_000 + i
             os.utime(cache.path_for(name, 8), (stamp, stamp))
             cache._evict()
-        remaining = sorted(p.name for p in tmp_path.glob("*.npz"))
+        remaining = sorted(p.name for p in tmp_path.glob("*.npy"))
         assert len(remaining) == 2
         assert cache.load("c", 8) is not None
         assert cache.load("d", 8) is not None
@@ -70,7 +80,7 @@ class TestTraceCache:
     def test_disabled_cache_never_touches_disk(self, tmp_path):
         cache = TraceCache(tmp_path, enabled=False)
         cache.store("sc", 8, _trace())
-        assert list(tmp_path.glob("*.npz")) == []
+        assert list(tmp_path.iterdir()) == []
         assert cache.load("sc", 8) is None
         assert cache.misses == 1 and cache.stores == 0
 
@@ -86,7 +96,70 @@ class TestTraceCache:
         cache = TraceCache(tmp_path)
         cache.store("sc", 8, _trace())
         cache.clear()
+        assert list(tmp_path.glob("*.npy")) == []
         assert list(tmp_path.glob("*.npz")) == []
+
+
+class TestCacheMigration:
+    """Format v1 -> v2 migration and v2 self-healing."""
+
+    def test_v1_entry_is_read_and_rebuilt_as_v2(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        v1 = cache.v1_path_for("sc", 8)
+        v1.parent.mkdir(parents=True, exist_ok=True)
+        save_trace(str(v1), _trace())
+        loaded = cache.load("sc", 8)
+        assert loaded == _trace()  # served without error, counted a hit
+        assert cache.hits == 1 and cache.v1_rebuilds == 1
+        assert not v1.exists()  # archive replaced by ...
+        assert cache.path_for("sc", 8).exists()  # ... a v2 entry
+        # The rebuilt entry round-trips through the mmap path.
+        assert cache.load("sc", 8) == _trace()
+        assert cache.mmap_loads == 1
+
+    def test_corrupt_v1_entry_is_dropped(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        v1 = cache.v1_path_for("sc", 8)
+        v1.parent.mkdir(parents=True, exist_ok=True)
+        v1.write_bytes(b"not an archive")
+        assert cache.load("sc", 8) is None
+        assert not v1.exists()
+        assert cache.misses == 1 and cache.v1_rebuilds == 0
+
+    def test_truncated_v2_self_heals(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cache.store("sc", 8, _trace(200))
+        path = cache.path_for("sc", 8)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn write / bad disk
+        assert cache.load("sc", 8) is None  # miss, not garbage
+        assert not path.exists()  # poisoned entry deleted on contact
+        cache.store("sc", 8, _trace(200))  # next store rewrites it
+        assert cache.load("sc", 8) == _trace(200)
+
+    def test_v2_preferred_over_stale_v1(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        v1 = cache.v1_path_for("sc", 8)
+        v1.parent.mkdir(parents=True, exist_ok=True)
+        save_trace(str(v1), _trace(10))
+        cache.store("sc", 8, _trace(20))
+        assert len(cache.load("sc", 8)) == 20  # v2 wins
+        assert cache.v1_rebuilds == 0
+
+    def test_env_switch_bypasses_both_formats(self, tmp_path, monkeypatch):
+        # Populate entries in both formats, then flip the kill switch:
+        # neither may be consulted.
+        cache = TraceCache(tmp_path)
+        cache.store("sc", 8, _trace())
+        save_trace(str(cache.v1_path_for("li", 8)), _trace())
+        monkeypatch.setenv(trace_cache.ENV_SWITCH, "0")
+        monkeypatch.setenv(trace_cache.ENV_DIR, str(tmp_path))
+        monkeypatch.setattr(trace_cache, "_default", None)
+        disabled = trace_cache.default_cache()
+        assert not disabled.enabled
+        assert disabled.load("sc", 8) is None
+        assert disabled.load("li", 8) is None
+        assert disabled.v1_path_for("li", 8).exists()  # untouched
 
 
 class TestDefaultCache:
@@ -120,7 +193,7 @@ class TestRegistryDiskTier:
         registry.clear_trace_cache()
         first = registry.get_trace("sc", 7)
         assert trace_cache.snapshot() == (0, 1)
-        assert list(tmp_path.glob("sc-s7-*.npz"))
+        assert list(tmp_path.glob("sc-s7-*.v2.npy"))
         # ... then drop the memory memo and break the functional
         # simulator: the second lookup must come from disk.
         registry.clear_trace_cache()
