@@ -14,14 +14,20 @@ Subcommands::
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
 
-An unknown workload name exits with status 2 after listing the valid
-kernels.  ``perf --check`` exits 3 on a throughput regression beyond the
-threshold and 2 when no baseline is stored yet.
+Exit codes are unified across subcommands (see
+:mod:`repro.experiments.exit_codes`): 0 success, 1 internal error,
+2 usage error (bad arguments, unknown workload, invalid ``REPRO_*``
+environment, ``perf --check`` without a stored baseline), 3 perf
+regression, 4 partial experiment results (some failed, the rest
+completed and checkpointed), 5 interrupted by SIGINT/SIGTERM after a
+graceful checkpoint flush.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 
 from repro.core.config import (
@@ -32,7 +38,16 @@ from repro.core.config import (
     MachineConfig,
 )
 from repro.cost.rbe import fpu_cost, ipu_cost
+from repro.experiments.exit_codes import (
+    EXIT_ERROR,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_PERF_REGRESSION,
+    EXIT_USAGE,
+    sweep_exit_code,
+)
 from repro.experiments.run_all import nonneg_int, positive_float, positive_int
+from repro.robustness.validation import EnvValidationError, validate_environment
 from repro.workloads.registry import WorkloadError, all_specs
 
 _MODELS = {
@@ -87,20 +102,27 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_resilient
+    from repro.robustness.chaos import ChaosError
 
-    _results, report = run_resilient(
-        factor=args.factor,
-        out_dir=args.out,
-        only=args.only,
-        resume=not args.no_resume,
-        manifest=args.manifest,
-        timeout=args.timeout,
-        retries=args.retries,
-        jobs=args.jobs,
-        use_trace_cache=not args.no_trace_cache,
-        trace_out=args.trace,
-    )
-    return 0 if report.ok else 1
+    try:
+        _results, report = run_resilient(
+            factor=args.factor,
+            out_dir=args.out,
+            only=args.only,
+            resume=not args.no_resume,
+            manifest=args.manifest,
+            timeout=args.timeout,
+            retries=args.retries,
+            jobs=args.jobs,
+            use_trace_cache=not args.no_trace_cache,
+            trace_out=args.trace,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+        )
+    except ChaosError as error:
+        print(f"error: --chaos: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    return sweep_exit_code(report)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -161,7 +183,7 @@ def cmd_spans(args: argparse.Namespace) -> int:
         spans = load_chrome_trace(args.trace)
     except SpanError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     print(f"spans:  {args.trace} ({len(spans)} spans)")
     print()
     print(render_span_tree(spans, min_duration=args.min_ms / 1000.0))
@@ -192,7 +214,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             history.seed_baseline(record)
     except BaselineError as error:
         print(f"perf history: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     print()
     print(
         f"perf history: {history.path} "
@@ -200,14 +222,14 @@ def cmd_perf(args: argparse.Namespace) -> int:
         + (", baseline seeded from this run)" if args.seed_baseline else ")")
     )
     if not args.check:
-        return 0
+        return EXIT_OK
     try:
         check = history.compare(record, threshold=args.threshold)
     except BaselineError as error:
         print(f"perf check: {error}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(f"perf check: {check.render()}")
-    return 3 if check.regressed else 0
+    return EXIT_PERF_REGRESSION if check.regressed else EXIT_OK
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -261,6 +283,12 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--trace", default=None, metavar="PATH",
                        help="record host-side spans and export Chrome "
                             "trace-event JSON here (see 'spans')")
+    p_exp.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="chaos plan: comma-separated "
+                            "kind[:target[:count[:seconds]]] tokens "
+                            "(see docs/ROBUSTNESS.md)")
+    p_exp.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for deterministic chaos injections")
     p_exp.set_defaults(func=cmd_experiments)
 
     p_trace = sub.add_parser(
@@ -336,6 +364,11 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     try:
+        validate_environment()
+    except EnvValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
         return args.func(args)
     except WorkloadError as error:
         # KeyError.__str__ wraps the message in quotes; unwrap it.
@@ -343,7 +376,18 @@ def main(argv: list[str] | None = None) -> int:
         print("valid kernels:", file=sys.stderr)
         for spec in all_specs():
             print(f"  {spec.name:<10} [{spec.suite}]", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        # A second SIGINT aborts hard, past the runner's graceful path.
+        print("aborted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed stdout: not a bug
+        # in the sweep.  Point the interpreter's shutdown flush at
+        # devnull so it cannot traceback, and report the conventional
+        # 128+SIGPIPE status a signal-killed process would have.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + signal.SIGPIPE
 
 
 if __name__ == "__main__":

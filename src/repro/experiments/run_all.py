@@ -7,6 +7,7 @@ Usage::
                                         [--retries 2] [--no-resume]
                                         [--manifest path.json]
                                         [--jobs 4] [--no-trace-cache]
+                                        [--chaos SPEC] [--chaos-seed N]
 
 ``--factor`` shrinks every workload to that fraction of its default size
 for faster turnarounds; 1.0 reproduces the shipped EXPERIMENTS.md runs.
@@ -20,19 +21,35 @@ each experiment is isolated (a crash or timeout in one no longer aborts
 the sweep), transient failures retry with bounded backoff, and completed
 results checkpoint to a manifest keyed by (experiment id, factor, code
 hash) — re-running the same sweep skips finished work and re-runs only
-what failed.  The process exit code is non-zero iff any experiment
-failed, and a partial-results report always prints.
+what failed.  A partial-results report always prints, and the process
+exit code follows the unified table in
+:mod:`repro.experiments.exit_codes` (0 ok, 2 usage, 4 partial results,
+5 interrupted).  ``--chaos`` injects deterministic failures for
+resilience testing (see :mod:`repro.robustness.chaos` and
+docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
+import pathlib
+import signal
 import sys
 from dataclasses import dataclass
 
-from repro.robustness.runner import ResilientRunner, RunReport
-from repro.robustness.validation import validate_factor
+from repro.experiments.exit_codes import (
+    EXIT_INTERRUPTED,
+    EXIT_USAGE,
+    sweep_exit_code,
+)
+from repro.robustness.runner import MANIFEST_NAME, ResilientRunner, RunReport
+from repro.robustness.validation import (
+    EnvValidationError,
+    validate_environment,
+    validate_factor,
+)
 from repro.workloads import trace_cache
 
 
@@ -88,6 +105,8 @@ def run_resilient(
     jobs: int = 1,
     use_trace_cache: bool = True,
     trace_out: str | None = None,
+    chaos: str | None = None,
+    chaos_seed: int = 0,
 ) -> tuple[dict[str, object], RunReport]:
     """Run the selected experiments; returns ``(results, report)``.
 
@@ -103,10 +122,38 @@ def run_resilient(
     tree as Chrome trace-event JSON to that path (view with
     ``aurora-sim spans`` or Perfetto); without it no tracer exists and
     the sweep runs exactly as before.
+
+    ``chaos`` takes a :class:`repro.robustness.chaos.ChaosPlan` spec
+    (``kind[:target[:count[:seconds]]],...``) seeded by ``chaos_seed``:
+    disk faults are applied to the trace cache and manifest before the
+    sweep, filesystem faults are armed at their sites (in the parent
+    and every pool worker), and pool faults compile into the fault
+    plan.  Mutually exclusive with an explicit ``fault_plan``.
     """
     validate_factor(factor, where="--factor")
     if not use_trace_cache:
         trace_cache.set_enabled(False)
+    effective_stream = stream if stream is not None else sys.stdout
+    chaos_plan = None
+    if chaos is not None:
+        from repro.robustness import chaos as chaos_mod
+
+        if fault_plan is not None:
+            raise ValueError(
+                "chaos and fault_plan are mutually exclusive: a chaos "
+                "plan compiles its own pool faults"
+            )
+        chaos_plan = chaos_mod.ChaosPlan.parse(chaos, seed=chaos_seed)
+        selected = list(only) if only else list(EXPERIMENTS)
+        fault_plan = chaos_plan.fault_plan(selected)
+        manifest_path = manifest
+        if manifest_path is None and out_dir is not None:
+            manifest_path = pathlib.Path(out_dir) / MANIFEST_NAME
+        chaos_plan.apply_disk(
+            trace_cache.default_cache().root,
+            manifest_path,
+            stream=effective_stream,
+        )
     tracer = None
     if trace_out is not None:
         from repro.telemetry.tracing import SpanTracer
@@ -120,16 +167,30 @@ def run_resilient(
         fault_plan=fault_plan,
         jobs=jobs,
         tracer=tracer,
+        chaos_plan=chaos_plan,
     )
-    return runner.run(
-        EXPERIMENTS,
-        factor=factor,
-        only=only,
-        resume=resume,
-        stream=stream if stream is not None else sys.stdout,
-        out_dir=out_dir,
-        trace_out=trace_out,
-    )
+    if chaos_plan is None:
+        return runner.run(
+            EXPERIMENTS,
+            factor=factor,
+            only=only,
+            resume=resume,
+            stream=effective_stream,
+            out_dir=out_dir,
+            trace_out=trace_out,
+        )
+    from repro.robustness import chaos as chaos_mod
+
+    with chaos_mod.active(chaos_plan):
+        return runner.run(
+            EXPERIMENTS,
+            factor=factor,
+            only=only,
+            resume=resume,
+            stream=effective_stream,
+            out_dir=out_dir,
+            trace_out=trace_out,
+        )
 
 
 def run_all(
@@ -235,20 +296,57 @@ def main(argv: list[str] | None = None) -> int:
         help="record host-side spans and export Chrome trace-event "
              "JSON here (view with 'aurora-sim spans' or Perfetto)",
     )
-    args = parser.parse_args(argv)
-    _results, report = run_resilient(
-        factor=args.factor,
-        out_dir=args.out,
-        only=args.only,
-        resume=not args.no_resume,
-        manifest=args.manifest,
-        timeout=args.timeout,
-        retries=args.retries,
-        jobs=args.jobs,
-        use_trace_cache=not args.no_trace_cache,
-        trace_out=args.trace,
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="chaos plan: comma-separated kind[:target[:count[:seconds]]] "
+             "tokens (see docs/ROBUSTNESS.md)",
     )
-    return 0 if report.ok else 1
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos plan's deterministic injections",
+    )
+    args = parser.parse_args(argv)
+    try:
+        validate_environment()
+    except EnvValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    from repro.robustness.chaos import ChaosError
+
+    try:
+        _results, report = run_resilient(
+            factor=args.factor,
+            out_dir=args.out,
+            only=args.only,
+            resume=not args.no_resume,
+            manifest=args.manifest,
+            timeout=args.timeout,
+            retries=args.retries,
+            jobs=args.jobs,
+            use_trace_cache=not args.no_trace_cache,
+            trace_out=args.trace,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+        )
+    except ChaosError as error:
+        print(f"error: --chaos: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        # Second signal (hard abort): no report exists to salvage.
+        print("aborted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed stdout: not a bug
+        # in the sweep.  Point the interpreter's shutdown flush at
+        # devnull so it cannot traceback, and report the conventional
+        # 128+SIGPIPE status a signal-killed process would have.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 128 + signal.SIGPIPE
+    return sweep_exit_code(report)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ Unified register-id space (so one scoreboard array covers all namespaces):
 from __future__ import annotations
 
 import zipfile
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -217,6 +218,29 @@ def load_trace_array(path: str, *, mmap: bool = True) -> np.ndarray:
             f"{path}: trace array dtype {array.dtype} is not integral"
         )
     return array
+
+
+def file_crc32(path: str, chunk_bytes: int = 1 << 22) -> tuple[int, int]:
+    """``(crc32, size)`` of a file, streamed in chunks.
+
+    Used by the trace cache to checksum v2 entries: chunked reads keep
+    memory flat on factor-1.0 traces, and the pages land in the OS page
+    cache, so the mmap load that follows a successful verify is free.
+    Raises :class:`TraceIOError` on unreadable files.
+    """
+    crc = 0
+    size = 0
+    try:
+        with open(path, "rb") as handle:
+            while True:
+                chunk = handle.read(chunk_bytes)
+                if not chunk:
+                    break
+                crc = zlib.crc32(chunk, crc)
+                size += len(chunk)
+    except OSError as error:
+        raise TraceIOError(f"{path}: unreadable for checksum: {error}") from None
+    return crc, size
 
 
 def is_memory_kind(kind: int) -> bool:

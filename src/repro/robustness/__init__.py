@@ -16,9 +16,13 @@ trustworthy.  This package hardens the simulation layer in three tiers:
   checkpoint manifest so partial sweeps resume instead of restarting.
 
 :mod:`repro.robustness.faults` provides deterministic fault injection used
-by the tests to exercise all of the above.
+by the tests to exercise all of the above, and
+:mod:`repro.robustness.chaos` extends it into a chaos harness attacking
+every I/O and process boundary (cache corruption, filesystem faults,
+worker kills, torn manifests) behind ``aurora-sim experiments --chaos``.
 
-See ``docs/ROBUSTNESS.md`` for the full contract.
+See ``docs/ROBUSTNESS.md`` for the full contract and the
+failure-mode matrix.
 """
 
 from repro.robustness.guards import (  # noqa: F401
@@ -41,8 +45,15 @@ from repro.robustness.faults import (  # noqa: F401
     TransientFault,
     corrupt_trace,
 )
+from repro.robustness.chaos import (  # noqa: F401
+    ChaosError,
+    ChaosFault,
+    ChaosPlan,
+)
 from repro.robustness.validation import (  # noqa: F401
+    EnvValidationError,
     TraceValidationError,
+    validate_environment,
     validate_factor,
     validate_scale,
     validate_trace,

@@ -15,9 +15,17 @@ Supported fault kinds (``FaultSpec.kind``):
   ``FaultSpec.count`` attempts, then let the experiment run (exercises
   bounded-backoff retry),
 * ``"timeout"`` — sleep ``FaultSpec.seconds`` before running (exercises
-  the per-experiment wall-clock timeout),
+  the per-experiment wall-clock timeout; a worker *hang* is this fault
+  under a pool with ``--timeout`` set),
 * ``"corrupt-result"`` — run the experiment, then return an object whose
-  ``render()`` raises (exercises containment of post-processing errors).
+  ``render()`` raises (exercises containment of post-processing errors),
+* ``"kill"`` — in a pool worker, ``SIGKILL`` the worker process on the
+  first ``FaultSpec.count`` executions (exercises pool-break
+  containment, quarantine attribution and recovery); in serial mode the
+  sweep itself cannot be killed, so the fault is contained as a crash,
+* ``"straggler"`` — sleep ``FaultSpec.seconds`` before running on the
+  first ``count`` executions, then succeed (exercises slow-worker
+  tolerance: the sweep completes with identical results, just later).
 """
 
 from __future__ import annotations
@@ -41,11 +49,14 @@ class _CorruptResult:
 class FaultSpec:
     """One experiment's injected fault."""
 
-    kind: str  # "crash" | "transient" | "timeout" | "corrupt-result"
-    count: int = 1  # transient: how many attempts fail before success
-    seconds: float = 3600.0  # timeout: how long to wedge
+    kind: str  # see _KINDS
+    count: int = 1  # transient/kill/straggler: how many executions fault
+    seconds: float = 3600.0  # timeout: wedge length; straggler: delay
 
-    _KINDS = ("crash", "transient", "timeout", "corrupt-result")
+    _KINDS = (
+        "crash", "transient", "timeout", "corrupt-result", "kill",
+        "straggler",
+    )
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
@@ -96,7 +107,18 @@ class FaultPlan:
                     f"injected transient fault in experiment {exp_id!r} "
                     f"(attempt {attempt}/{spec.count})"
                 )
+            if spec.kind == "kill" and attempt <= spec.count:
+                # Serial mode runs in the sweep process itself; killing
+                # it would kill the sweep, so the fault degrades to a
+                # contained permanent failure (the pool path delivers a
+                # real SIGKILL — see runner._InjectedFault).
+                raise RuntimeError(
+                    f"injected worker kill in experiment {exp_id!r} "
+                    f"(attempt {attempt}; serial mode: contained as crash)"
+                )
             if spec.kind == "timeout":
+                self.sleep(spec.seconds)
+            if spec.kind == "straggler" and attempt <= spec.count:
                 self.sleep(spec.seconds)
             result = fn(*args, **kwargs)
             if spec.kind == "corrupt-result":

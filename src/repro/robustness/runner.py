@@ -78,6 +78,7 @@ import multiprocessing
 import os
 import pathlib
 import pickle
+import signal
 import threading
 import time
 from collections import deque
@@ -95,6 +96,14 @@ from repro.workloads import trace_cache
 MANIFEST_VERSION = 1
 #: Default manifest location (relative to ``out_dir`` when one is given).
 MANIFEST_NAME = "manifest.json"
+
+
+def _chaos_check(site: str) -> None:
+    """Chaos fault-site hook (lazy import: chaos pulls in this module's
+    package, so a top-level import would be order-sensitive)."""
+    from repro.robustness import chaos
+
+    chaos.fs_check(site)
 
 
 class ExperimentTimeout(RuntimeError):
@@ -117,7 +126,7 @@ class ExperimentOutcome:
     """What happened to one experiment in one sweep."""
 
     exp_id: str
-    status: str  # "ok" | "failed" | "timeout" | "checkpointed"
+    status: str  # "ok" | "failed" | "timeout" | "checkpointed" | "interrupted"
     attempts: int = 0
     elapsed: float = 0.0
     error: str | None = None
@@ -131,6 +140,10 @@ class ExperimentOutcome:
     #: reuses the workload's already-prepared columns.
     prepares: int = 0
     prepare_seconds: float = 0.0
+    #: Trace-cache degradations attributed to this experiment: stores
+    #: that fell back to in-memory-only and entries failing checksum.
+    cache_degraded: int = 0
+    cache_checksum_failures: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -145,6 +158,9 @@ class RunReport:
     #: Sweep-level observability metrics (``runner.*``); also embedded in
     #: the manifest and exported to ``<out>/metrics/runner.json``.
     metrics: MetricsRegistry | None = None
+    #: Signal name ("SIGINT"/"SIGTERM") when the sweep was interrupted
+    #: and shut down gracefully, else None.
+    interrupted: str | None = None
 
     @property
     def succeeded(self) -> list[ExperimentOutcome]:
@@ -169,6 +185,11 @@ class RunReport:
             f"{len(self.checkpointed)} from checkpoint, "
             f"{len(self.failed)} failed"
         ]
+        if self.interrupted:
+            lines.append(
+                f"  interrupted by {self.interrupted}: partial results; "
+                "checkpoint flushed, resume to finish the rest"
+            )
         for outcome in self.outcomes:
             line = f"  {outcome.exp_id:<10} {outcome.status:<13}"
             if outcome.status == "ok":
@@ -225,12 +246,28 @@ def _start_method(requested: str | None) -> str:
 
 
 def _pool_initializer(
-    cache_root: str, cache_enabled: bool, cache_max_entries: int
+    cache_root: str,
+    cache_enabled: bool,
+    cache_max_entries: int,
+    cache_verify: bool = True,
+    chaos_plan=None,
 ) -> None:
-    """Point the worker's process-wide trace cache at the parent's."""
+    """Point the worker's process-wide trace cache at the parent's.
+
+    When the sweep runs under a chaos plan the same (picklable, frozen)
+    plan is activated in every worker, so injected filesystem faults
+    replay identically no matter which process hits the fault site.
+    """
     trace_cache.configure(
-        cache_root, enabled=cache_enabled, max_entries=cache_max_entries
+        cache_root,
+        enabled=cache_enabled,
+        max_entries=cache_max_entries,
+        verify=cache_verify,
     )
+    if chaos_plan is not None:
+        from repro.robustness import chaos
+
+        chaos.activate(chaos_plan)
 
 
 def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
@@ -251,17 +288,21 @@ def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
         worker_tracer = SpanTracer(trace_id)
         tracing.set_tracer(worker_tracer)
     base_hits, base_misses = trace_cache.snapshot()
+    base_degraded, base_checksum = trace_cache.health_snapshot()
     base_prepares, base_prepare_seconds = prepare_snapshot()
     started = time.monotonic()
 
     def _envelope(payload: dict) -> dict:
         hits, misses = trace_cache.snapshot()
+        degraded, checksum = trace_cache.health_snapshot()
         prepares, prepare_seconds = prepare_snapshot()
         payload.update(
             wall=time.monotonic() - started,
             pid=os.getpid(),
             cache_hits=hits - base_hits,
             cache_misses=misses - base_misses,
+            cache_degraded=degraded - base_degraded,
+            cache_checksum_failures=checksum - base_checksum,
             prepares=prepares - base_prepares,
             prepare_seconds=prepare_seconds - base_prepare_seconds,
         )
@@ -295,14 +336,22 @@ class _InjectedFault:
 
     The closure returned by ``wrap`` cannot cross a process boundary and
     worker-side attempt counters would reset with every retry, so the
-    parent passes the attempt number in explicitly.
+    parent passes the attempt number in explicitly.  ``execution`` is a
+    separate counter that also ticks on re-runs the retry ledger does
+    *not* bill (quarantine re-runs, post-pool-break resubmits): a
+    ``kill`` fault keyed on ``attempt`` would re-fire inside the
+    quarantine pool and convict an experiment that merely needed a
+    clean re-run.
     """
 
-    def __init__(self, fn, exp_id: str, spec, attempt: int) -> None:
+    def __init__(
+        self, fn, exp_id: str, spec, attempt: int, execution: int | None = None
+    ) -> None:
         self.fn = fn
         self.exp_id = exp_id
         self.spec = spec
         self.attempt = attempt
+        self.execution = execution if execution is not None else attempt
 
     def __call__(self, factor: float):
         spec = self.spec
@@ -316,7 +365,13 @@ class _InjectedFault:
                 f"injected transient fault in experiment {self.exp_id!r} "
                 f"(attempt {self.attempt}/{spec.count})"
             )
+        if spec.kind == "kill" and self.execution <= spec.count:
+            # A real worker death: the parent sees a BrokenProcessPool
+            # and must attribute it (the pool path of the chaos harness).
+            os.kill(os.getpid(), signal.SIGKILL)
         if spec.kind == "timeout":
+            time.sleep(spec.seconds)
+        if spec.kind == "straggler" and self.execution <= spec.count:
             time.sleep(spec.seconds)
         result = self.fn(factor)
         if spec.kind == "corrupt-result":
@@ -342,6 +397,7 @@ class ResilientRunner:
         jobs: int = 1,
         mp_context: str | None = None,
         tracer: SpanTracer | None = None,
+        chaos_plan=None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -365,6 +421,11 @@ class ResilientRunner:
         #: Optional host-side span tracer (see repro.telemetry.tracing);
         #: ``None`` keeps every span site a single falsy check.
         self.tracer = tracer
+        #: Optional chaos plan (see repro.robustness.chaos), shipped to
+        #: pool workers through the initializer so filesystem-fault
+        #: budgets replay per process.  The caller activates it in the
+        #: parent; the runner only forwards it.
+        self.chaos_plan = chaos_plan
         self._sleep = sleep
         self._clock = clock
 
@@ -459,7 +520,12 @@ class ResilientRunner:
         manifest_path = self.manifest_path
         if manifest_path is None and out_path is not None:
             manifest_path = out_path / MANIFEST_NAME
-        entries = self._load_manifest(manifest_path) if resume else {}
+        if resume:
+            entries, manifest_salvaged = self._load_manifest(
+                manifest_path, stream=stream
+            )
+        else:
+            entries, manifest_salvaged = {}, False
 
         selected = [
             (exp_id, fn)
@@ -487,6 +553,29 @@ class ResilientRunner:
         registry = MetricsRegistry()
         registry.gauge("runner.factor").set(factor)
         registry.gauge("runner.jobs").set(self.jobs)
+        if manifest_salvaged:
+            registry.counter("runner.manifest_salvaged").inc()
+
+        # Checkpoints about to be recomputed because the *code* changed
+        # (same experiment, same factor) deserve an explicit warning —
+        # silently redoing hours of work looks like a resume bug.
+        for exp_id, _fn in selected:
+            entry = entries.get(exp_id)
+            if not entry or entry.get("status") != "ok":
+                continue
+            old_key = entry.get("key", "")
+            if old_key == keys[exp_id]:
+                continue
+            old_stem, _, old_code = old_key.rpartition("|code=")
+            new_stem, _, new_code = keys[exp_id].rpartition("|code=")
+            if old_stem == new_stem and old_code and old_code != new_code:
+                registry.counter("runner.checkpoints_invalidated").inc()
+                if stream is not None:
+                    print(
+                        f"warning: {exp_id}: checkpoint invalidated "
+                        f"(code changed): old={old_code} new={new_code}",
+                        file=stream,
+                    )
 
         def publish_outcome(outcome: ExperimentOutcome) -> None:
             registry.counter(f"runner.experiments_{outcome.status}").inc()
@@ -502,6 +591,14 @@ class ResilientRunner:
                 prepare_totals["seconds"] += outcome.prepare_seconds
                 registry.gauge("runner.trace_prepare_seconds").set(
                     prepare_totals["seconds"]
+                )
+            if outcome.cache_degraded:
+                registry.counter("runner.cache_degraded").inc(
+                    outcome.cache_degraded
+                )
+            if outcome.cache_checksum_failures:
+                registry.counter("runner.cache_checksum_failures").inc(
+                    outcome.cache_checksum_failures
                 )
             if outcome.status == "ok":
                 registry.histogram("runner.elapsed_seconds").observe(
@@ -570,9 +667,10 @@ class ResilientRunner:
                 }
                 if out_path:
                     (out_path / f"{exp_id}.txt").write_text(text + "\n")
-                self._save_manifest(
+                if not self._save_manifest(
                     manifest_path, entries, registry, trace=trace_path
-                )
+                ):
+                    registry.counter("runner.manifest_degraded").inc()
                 self._emit(
                     stream,
                     exp_id,
@@ -584,9 +682,10 @@ class ResilientRunner:
                 stale = entries.get(exp_id)
                 if stale is not None and stale.get("key") != keys[exp_id]:
                     entries.pop(exp_id, None)
-                    self._save_manifest(
+                    if not self._save_manifest(
                         manifest_path, entries, registry, trace=trace_path
-                    )
+                    ):
+                        registry.counter("runner.manifest_degraded").inc()
                 self._emit(
                     stream,
                     exp_id,
@@ -595,39 +694,89 @@ class ResilientRunner:
                 )
 
         tracer = self.tracer
-        if todo:
-            if self.jobs == 1:
-                for exp_id, runner_fn in todo:
-                    if tracer is None:
-                        outcome, text, result = self._run_one(
-                            exp_id, runner_fn, factor
-                        )
-                        finish(exp_id, outcome, text, result)
-                        continue
-                    with tracer.span(
-                        f"experiment:{exp_id}",
-                        "experiment",
-                        track=tracks[exp_id],
-                    ) as exp_span:
-                        outcome, text, result = self._run_one(
-                            exp_id, runner_fn, factor
-                        )
-                        exp_span.annotate(
-                            status=outcome.status,
-                            attempts=outcome.attempts,
-                            worker=outcome.worker,
-                        )
-                        if outcome.error:
-                            exp_span.annotate(error=outcome.error)
-                        finish(exp_id, outcome, text, result)
-            else:
-                self._run_pool(
-                    todo,
-                    factor,
-                    finish,
-                    sweep_span=sweep_span,
-                    tracks=tracks,
+        interrupt: dict[str, str | None] = {"signal": None}
+
+        def _on_signal(signum, _frame) -> None:
+            name = signal.Signals(signum).name
+            if interrupt["signal"] is not None:
+                # Second signal: the user means it — abort hard.
+                raise KeyboardInterrupt(name)
+            interrupt["signal"] = name
+            if stream is not None:
+                print(
+                    f"warning: received {name}; stopping after in-flight "
+                    "work and flushing the checkpoint manifest "
+                    "(repeat to abort hard)",
+                    file=stream,
                 )
+
+        def should_stop() -> bool:
+            return interrupt["signal"] is not None
+
+        previous_handlers: list[tuple[int, object]] = []
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers.append(
+                        (signum, signal.signal(signum, _on_signal))
+                    )
+                except (ValueError, OSError):
+                    pass
+        try:
+            if todo:
+                if self.jobs == 1:
+                    for exp_id, runner_fn in todo:
+                        if should_stop():
+                            break
+                        if tracer is None:
+                            outcome, text, result = self._run_one(
+                                exp_id, runner_fn, factor
+                            )
+                            finish(exp_id, outcome, text, result)
+                            continue
+                        with tracer.span(
+                            f"experiment:{exp_id}",
+                            "experiment",
+                            track=tracks[exp_id],
+                        ) as exp_span:
+                            outcome, text, result = self._run_one(
+                                exp_id, runner_fn, factor
+                            )
+                            exp_span.annotate(
+                                status=outcome.status,
+                                attempts=outcome.attempts,
+                                worker=outcome.worker,
+                            )
+                            if outcome.error:
+                                exp_span.annotate(error=outcome.error)
+                            finish(exp_id, outcome, text, result)
+                else:
+                    self._run_pool(
+                        todo,
+                        factor,
+                        finish,
+                        sweep_span=sweep_span,
+                        tracks=tracks,
+                        should_stop=should_stop,
+                    )
+        finally:
+            for signum, handler in previous_handlers:
+                signal.signal(signum, handler)
+
+        # Graceful shutdown: every selected experiment still gets an
+        # outcome, so the report is complete (explicitly partial).
+        if interrupt["signal"] is not None:
+            for exp_id, _fn in selected:
+                if exp_id not in outcomes:
+                    outcomes[exp_id] = ExperimentOutcome(
+                        exp_id,
+                        "interrupted",
+                        error=(
+                            f"sweep interrupted by {interrupt['signal']} "
+                            "before this experiment finished"
+                        ),
+                    )
+                    publish_outcome(outcomes[exp_id])
 
         # Sweep-level throughput gauges: how fast the host chewed through
         # the simulated work (the perf-baseline observatory's inputs).
@@ -652,17 +801,21 @@ class ResilientRunner:
                 cache_hits / (cache_hits + cache_misses)
             )
 
-        # Final manifest write picks up metrics for checkpoint-only runs.
-        self._save_manifest(
+        # Final manifest write picks up metrics for checkpoint-only runs
+        # (and is the flush a graceful shutdown promises).
+        if not self._save_manifest(
             manifest_path, entries, registry, trace=trace_path
-        )
+        ):
+            registry.counter("runner.manifest_degraded").inc()
         if out_path is not None:
             registry.write_json(out_path / "metrics" / "runner.json")
 
         # Canonical report order: the experiments mapping, regardless of
         # parallel completion order — serial and parallel reports match.
         report = RunReport(
-            outcomes=[outcomes[e] for e, _fn in selected], metrics=registry
+            outcomes=[outcomes[e] for e, _fn in selected],
+            metrics=registry,
+            interrupted=interrupt["signal"],
         )
         if stream is not None:
             print(report.render(), file=stream)
@@ -678,15 +831,25 @@ class ResilientRunner:
         attempts = 0
         started = self._clock()
         base_hits, base_misses = trace_cache.snapshot()
+        base_degraded, base_checksum = trace_cache.health_snapshot()
         base_prepares, base_prepare_seconds = prepare_snapshot()
 
-        def cache_delta() -> tuple[int, int]:
+        def cache_delta() -> dict:
             hits, misses = trace_cache.snapshot()
-            return hits - base_hits, misses - base_misses
+            degraded, checksum = trace_cache.health_snapshot()
+            return {
+                "cache_hits": hits - base_hits,
+                "cache_misses": misses - base_misses,
+                "cache_degraded": degraded - base_degraded,
+                "cache_checksum_failures": checksum - base_checksum,
+            }
 
-        def prepare_delta() -> tuple[int, float]:
+        def prepare_delta() -> dict:
             prepares, seconds = prepare_snapshot()
-            return prepares - base_prepares, seconds - base_prepare_seconds
+            return {
+                "prepares": prepares - base_prepares,
+                "prepare_seconds": seconds - base_prepare_seconds,
+            }
 
         while True:
             attempts += 1
@@ -694,26 +857,20 @@ class ResilientRunner:
                 result = self._timed_attempt(exp_id, fn, factor, attempts)
                 text = result.render()
                 elapsed = self._clock() - started
-                hits, misses = cache_delta()
-                prepares, prepare_seconds = prepare_delta()
                 return (
                     ExperimentOutcome(
                         exp_id,
                         "ok",
                         attempts,
                         elapsed,
-                        cache_hits=hits,
-                        cache_misses=misses,
-                        prepares=prepares,
-                        prepare_seconds=prepare_seconds,
+                        **cache_delta(),
+                        **prepare_delta(),
                     ),
                     text,
                     result,
                 )
             except ExperimentTimeout as error:
                 elapsed = self._clock() - started
-                hits, misses = cache_delta()
-                prepares, prepare_seconds = prepare_delta()
                 return (
                     ExperimentOutcome(
                         exp_id,
@@ -721,10 +878,8 @@ class ResilientRunner:
                         attempts,
                         elapsed,
                         str(error),
-                        cache_hits=hits,
-                        cache_misses=misses,
-                        prepares=prepares,
-                        prepare_seconds=prepare_seconds,
+                        **cache_delta(),
+                        **prepare_delta(),
                     ),
                     None,
                     None,
@@ -739,8 +894,6 @@ class ResilientRunner:
                     continue
                 elapsed = self._clock() - started
                 cause = f"{type(error).__name__}: {error}"
-                hits, misses = cache_delta()
-                prepares, prepare_seconds = prepare_delta()
                 return (
                     ExperimentOutcome(
                         exp_id,
@@ -748,10 +901,8 @@ class ResilientRunner:
                         attempts,
                         elapsed,
                         cause,
-                        cache_hits=hits,
-                        cache_misses=misses,
-                        prepares=prepares,
-                        prepare_seconds=prepare_seconds,
+                        **cache_delta(),
+                        **prepare_delta(),
                     ),
                     None,
                     None,
@@ -818,7 +969,16 @@ class ResilientRunner:
 
     # ---------------------------------------------------------- process pool
 
-    def _run_pool(self, todo, factor, finish, *, sweep_span=None, tracks=None):
+    def _run_pool(
+        self,
+        todo,
+        factor,
+        finish,
+        *,
+        sweep_span=None,
+        tracks=None,
+        should_stop=None,
+    ):
         """Run ``todo`` on a process pool (see module docs for semantics).
 
         The single-threaded event loop below owns all bookkeeping;
@@ -880,6 +1040,10 @@ class ResilientRunner:
             )
             tracer.finish(attempt)
         attempts = {exp_id: 0 for exp_id in fns}
+        #: Every submission, including re-runs the retry ledger does not
+        #: bill (quarantine, post-break resubmits) — the schedule basis
+        #: for kill/straggler chaos faults (see _InjectedFault).
+        executions = {exp_id: 0 for exp_id in fns}
         started_at: dict[str, float] = {}
         #: first time each experiment was *observed* executing — the
         #: timeout basis, and the "suspect" test after a pool break.
@@ -890,7 +1054,13 @@ class ResilientRunner:
 
         cache = trace_cache.default_cache()
         ctx = multiprocessing.get_context(_start_method(self.mp_context))
-        initargs = (str(cache.root), cache.enabled, cache.max_entries)
+        initargs = (
+            str(cache.root),
+            cache.enabled,
+            cache.max_entries,
+            cache.verify,
+            self.chaos_plan,
+        )
 
         def new_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
             return concurrent.futures.ProcessPoolExecutor(
@@ -909,6 +1079,7 @@ class ResilientRunner:
             fn = fns[exp_id]
             if count_attempt:
                 attempts[exp_id] += 1
+            executions[exp_id] += 1
             started_at.setdefault(exp_id, self._clock())
             if self.fault_plan is not None:
                 spec = self.fault_plan.faults.get(exp_id)
@@ -916,7 +1087,9 @@ class ResilientRunner:
                     # Keep the plan's observable counters in sync even
                     # though the fault itself fires in the worker.
                     self.fault_plan.attempts[exp_id] = attempts[exp_id]
-                    fn = _InjectedFault(fn, exp_id, spec, attempts[exp_id])
+                    fn = _InjectedFault(
+                        fn, exp_id, spec, attempts[exp_id], executions[exp_id]
+                    )
             if tracer is not None and exp_id not in exp_spans:
                 exp_spans[exp_id] = tracer.begin(
                     f"experiment:{exp_id}",
@@ -937,6 +1110,10 @@ class ResilientRunner:
             for exp_id, _fn in todo:
                 submit(exp_id, "main")
             while future_home or waiting or quarantine:
+                if should_stop is not None and should_stop():
+                    # Graceful shutdown: stop scheduling, kill in-flight
+                    # workers (finally), report the rest as interrupted.
+                    break
                 now = self._clock()
                 due = [w for w in waiting if w[0] <= now]
                 if due:
@@ -1013,6 +1190,12 @@ class ResilientRunner:
                                 worker=worker,
                                 cache_hits=envelope["cache_hits"],
                                 cache_misses=envelope["cache_misses"],
+                                cache_degraded=envelope.get(
+                                    "cache_degraded", 0
+                                ),
+                                cache_checksum_failures=envelope.get(
+                                    "cache_checksum_failures", 0
+                                ),
                                 prepares=envelope.get("prepares", 0),
                                 prepare_seconds=envelope.get(
                                     "prepare_seconds", 0.0
@@ -1054,6 +1237,10 @@ class ResilientRunner:
                             worker=worker,
                             cache_hits=envelope["cache_hits"],
                             cache_misses=envelope["cache_misses"],
+                            cache_degraded=envelope.get("cache_degraded", 0),
+                            cache_checksum_failures=envelope.get(
+                                "cache_checksum_failures", 0
+                            ),
                             prepares=envelope.get("prepares", 0),
                             prepare_seconds=envelope.get(
                                 "prepare_seconds", 0.0
@@ -1184,17 +1371,66 @@ class ResilientRunner:
         return f"{exp_id}|factor={factor!r}|code={code_hash}"
 
     @staticmethod
-    def _load_manifest(path: pathlib.Path | None) -> dict:
-        if path is None or not path.exists():
-            return {}
+    def _parse_manifest(path: pathlib.Path) -> dict | None:
+        """Entries of a well-formed manifest; None when it is corrupt.
+
+        A version mismatch is *not* corruption — it means a legitimate
+        fresh start, signalled by an empty dict.
+        """
         try:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            return {}  # corrupt manifest: start fresh rather than die
+            return None
         if data.get("version") != MANIFEST_VERSION:
             return {}
         entries = data.get("entries")
-        return entries if isinstance(entries, dict) else {}
+        return entries if isinstance(entries, dict) else None
+
+    @classmethod
+    def _load_manifest(
+        cls, path: pathlib.Path | None, stream=None
+    ) -> tuple[dict, bool]:
+        """``(entries, salvaged)`` — torn manifests recover from ``.bak``.
+
+        ``_save_manifest`` keeps the previous manifest as ``.bak``, so a
+        manifest torn by external corruption (or missing because a crash
+        landed between the two renames) salvages the last good
+        checkpoint set instead of silently restarting the whole sweep.
+        """
+        if path is None:
+            return {}, False
+        bak = path.with_suffix(path.suffix + ".bak")
+        torn = False
+        if path.exists():
+            entries = cls._parse_manifest(path)
+            if entries is not None:
+                return entries, False
+            torn = True
+        if not bak.exists():
+            if torn and stream is not None:
+                print(
+                    f"warning: checkpoint manifest {path} is corrupt and "
+                    "no backup exists; starting fresh",
+                    file=stream,
+                )
+            return {}, False
+        entries = cls._parse_manifest(bak)
+        if not entries:
+            if torn and stream is not None:
+                print(
+                    f"warning: checkpoint manifest {path} is corrupt and "
+                    f"its backup is unusable; starting fresh",
+                    file=stream,
+                )
+            return {}, False
+        if stream is not None:
+            cause = "is corrupt (torn write?)" if torn else "is missing"
+            print(
+                f"warning: checkpoint manifest {path} {cause}; salvaged "
+                f"{len(entries)} checkpoint(s) from {bak.name}",
+                file=stream,
+            )
+        return entries, True
 
     @staticmethod
     def _save_manifest(
@@ -1202,22 +1438,41 @@ class ResilientRunner:
         entries: dict,
         metrics: MetricsRegistry | None = None,
         trace: pathlib.Path | None = None,
-    ) -> None:
+    ) -> bool:
+        """Write the manifest atomically; False when the write degraded.
+
+        Write-then-rename means a crash never tears ``path`` itself; the
+        previous manifest additionally survives as ``.bak`` so external
+        corruption of ``path`` (or a crash between the two renames) is
+        recoverable by ``_load_manifest``.  An I/O failure (full disk,
+        injected fault) loses checkpoint durability, never the sweep —
+        the caller records ``runner.manifest_degraded`` and carries on.
+        """
         if path is None:
-            return
+            return True
         with tracing.span("checkpoint", "checkpoint", entries=len(entries)):
-            path.parent.mkdir(parents=True, exist_ok=True)
-            document: dict = {"version": MANIFEST_VERSION, "entries": entries}
-            if metrics is not None:
-                # Extra top-level key: old readers only look at "entries".
-                document["metrics"] = metrics.as_dict()
-            if trace is not None:
-                # Where this sweep's Chrome span trace will land.
-                document["trace"] = str(trace)
-            payload = json.dumps(document, indent=2)
-            tmp = path.with_suffix(path.suffix + ".tmp")
-            tmp.write_text(payload)
-            tmp.replace(path)  # atomic: a crash never corrupts the manifest
+            try:
+                _chaos_check("manifest.save")
+                path.parent.mkdir(parents=True, exist_ok=True)
+                document: dict = {
+                    "version": MANIFEST_VERSION,
+                    "entries": entries,
+                }
+                if metrics is not None:
+                    # Extra top-level key: old readers only read "entries".
+                    document["metrics"] = metrics.as_dict()
+                if trace is not None:
+                    # Where this sweep's Chrome span trace will land.
+                    document["trace"] = str(trace)
+                payload = json.dumps(document, indent=2)
+                tmp = path.with_suffix(path.suffix + ".tmp")
+                tmp.write_text(payload)
+                if path.exists():
+                    os.replace(path, path.with_suffix(path.suffix + ".bak"))
+                tmp.replace(path)
+            except OSError:
+                return False
+        return True
 
     @staticmethod
     def _emit(stream, exp_id: str, status: str, text: str | None) -> None:

@@ -21,12 +21,17 @@ garbage-in paths the experiment layer feeds the simulator:
   :func:`validate_scale` reject the zero/negative/NaN values that today
   would silently produce nonsense workload sizes deep inside
   ``scaled_trace``.
+* **Environment** — :func:`validate_environment` eagerly checks every
+  ``REPRO_*`` switch the sweep stack reads, so a typo like
+  ``REPRO_TRACE_PATH=prepard`` fails at CLI startup with a field-named
+  usage error instead of mid-sweep (or worse, silently falling back).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+import os
+from typing import Mapping, Sequence
 
 from repro.func.trace import NUM_UNIFIED_REGS
 from repro.isa.instructions import Kind
@@ -148,6 +153,64 @@ def validate_factor(factor: float, *, where: str = "factor") -> float:
     if value <= 0:
         raise ValueError(f"{where} must be > 0, got {factor!r}")
     return value
+
+
+class EnvValidationError(ValueError):
+    """A ``REPRO_*`` environment variable holds an unusable value.
+
+    The message names every offending variable (all problems are
+    collected, not just the first) so one failed run fixes them all.
+    """
+
+
+def validate_environment(environ: Mapping[str, str] | None = None) -> None:
+    """Eagerly validate the ``REPRO_*`` switches the sweep stack reads.
+
+    Checked: ``REPRO_TRACE_PATH`` (trace representation),
+    ``REPRO_TRACE_CACHE`` / ``REPRO_TRACE_CACHE_VERIFY`` (on/off
+    switches) and ``REPRO_TRACE_CACHE_DIR`` (must not name an existing
+    non-directory).  Unset or empty variables are always fine — they
+    mean "use the default".
+    """
+    from repro.workloads import registry, trace_cache
+
+    env = os.environ if environ is None else environ
+    problems: list[str] = []
+
+    trace_path = env.get(registry.ENV_TRACE_PATH, "")
+    if trace_path and trace_path.lower() not in ("prepared", "tuples"):
+        problems.append(
+            f"{registry.ENV_TRACE_PATH}={trace_path!r}: "
+            "expected 'prepared' or 'tuples'"
+        )
+
+    switch_values = trace_cache._ON_VALUES + trace_cache._OFF_VALUES
+    for variable in (trace_cache.ENV_SWITCH, trace_cache.ENV_VERIFY):
+        value = env.get(variable, "")
+        if value and value.lower() not in switch_values:
+            problems.append(
+                f"{variable}={value!r}: expected an on/off value "
+                f"({'/'.join(trace_cache._ON_VALUES)} or "
+                f"{'/'.join(trace_cache._OFF_VALUES)})"
+            )
+
+    cache_dir = env.get(trace_cache.ENV_DIR)
+    if cache_dir is not None:
+        if not cache_dir.strip():
+            problems.append(
+                f"{trace_cache.ENV_DIR} is set but empty: unset it or "
+                "name a directory"
+            )
+        elif os.path.exists(cache_dir) and not os.path.isdir(cache_dir):
+            problems.append(
+                f"{trace_cache.ENV_DIR}={cache_dir!r}: exists but is "
+                "not a directory"
+            )
+
+    if problems:
+        raise EnvValidationError(
+            "invalid environment: " + "; ".join(problems)
+        )
 
 
 def validate_scale(scale: int | None, *, where: str = "scale") -> int | None:
