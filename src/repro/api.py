@@ -30,6 +30,16 @@ from repro.core.config import (  # noqa: F401
     recommended_model,
     small_model,
 )
+from repro.core.kernel import (  # noqa: F401
+    ENV_KERNEL,
+    KERNEL_NAMES,
+    BatchedKernel,
+    KernelError,
+    ScalarKernel,
+    get_kernel,
+    kernel_mode,
+    simulate_many,
+)
 from repro.core.processor import (  # noqa: F401
     AuroraProcessor,
     SimulationResult,
@@ -122,16 +132,48 @@ def suite_results(
     config: MachineConfig,
     suite: str = "int",
     scale: int | None = None,
+    kernel: str | None = None,
 ) -> dict[str, SimulationResult]:
     """Run a whole suite ("int" or "fp") on one configuration.
 
     Raises :class:`ValueError` for any other suite name — a typo used to
-    silently run the FP suite.
+    silently run the FP suite.  ``kernel`` overrides the
+    ``REPRO_SIM_KERNEL`` selection (``"scalar"`` | ``"batched"``).
     """
+    sweep = sweep_results([config], suite=suite, scale=scale, kernel=kernel)
+    return sweep[0]
+
+
+def sweep_results(
+    configs: list[MachineConfig],
+    suite: str = "int",
+    scale: int | None = None,
+    kernel: str | None = None,
+) -> list[dict[str, SimulationResult]]:
+    """Run a whole suite on many configurations, one trace pass each.
+
+    The grouped twin of :func:`suite_results`: every workload's trace is
+    walked once through :func:`repro.core.kernel.simulate_many` (so the
+    batched kernel advances all configs together) and the return value is
+    a per-config list of ``{workload: SimulationResult}`` mappings,
+    index-aligned with ``configs``.
+    """
+    from repro.robustness.validation import validate_scale
+
     if suite == "int":
         names = INTEGER_SUITE
     elif suite == "fp":
         names = FP_SUITE
     else:
         raise ValueError(f"unknown suite {suite!r}; expected 'int' or 'fp'")
-    return {name: simulate_workload(name, config, scale) for name in names}
+    validate_scale(scale)
+    for config in configs:
+        config.validate()
+    sweep: list[dict[str, SimulationResult]] = [{} for _ in configs]
+    for name in names:
+        trace = get_trace(name, scale)
+        for per_config, result in zip(
+            sweep, simulate_many(trace, configs, kernel=kernel)
+        ):
+            per_config[name] = result
+    return sweep

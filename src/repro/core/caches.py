@@ -50,9 +50,9 @@ class DirectMappedCache:
 
     def lookup(self, address: int) -> bool:
         """Tag check, counting one reference. True on hit."""
-        index, line = self._split(address)
+        line = address >> self._line_shift
         self.accesses += 1
-        if self._tags[index] == line:
+        if self._tags[line & self._index_mask] == line:
             self.hits += 1
             return True
         return False
@@ -64,8 +64,7 @@ class DirectMappedCache:
 
     def ready_time(self, address: int) -> int:
         """When the currently resident line in this set becomes usable."""
-        index, _ = self._split(address)
-        return self._ready[index]
+        return self._ready[(address >> self._line_shift) & self._index_mask]
 
     def fill(self, address: int, ready_at: int) -> int | None:
         """Install the line containing ``address``; data usable at ``ready_at``.
@@ -111,6 +110,7 @@ class PipelinedCachePort:
     def __post_init__(self) -> None:
         self._next_slot = 0  # pipelined: one new access per cycle
         self._fill_windows: list[tuple[int, int]] = []  # (start, end)
+        self._max_end = 0  # no window ends after this cycle
 
     def start_access(self, time: int) -> int:
         """Earliest cycle >= time the port can initiate an access."""
@@ -129,6 +129,8 @@ class PipelinedCachePort:
         start = self._skip_fill_windows(time)
         end = start + self.fill_cycles
         self._fill_windows.append((start, end))
+        if end > self._max_end:
+            self._max_end = end
         if len(self._fill_windows) > 32:
             horizon = min(start, self._next_slot)
             self._fill_windows = [
@@ -137,6 +139,10 @@ class PipelinedCachePort:
         return end
 
     def _skip_fill_windows(self, time: int) -> int:
+        # Every pending window ends at or before _max_end, so a time at
+        # or past it cannot land inside any window.
+        if time >= self._max_end:
+            return time
         moved = True
         while moved:
             moved = False

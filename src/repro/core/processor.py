@@ -607,7 +607,10 @@ def simulate_trace(
     tracer = tracing.current_tracer()
     if tracer is None:
         return AuroraProcessor(config, policy, telemetry=telemetry).run(trace)
+    # ``records`` counts trace records, not retired instructions: multi-op
+    # records and batching make the two diverge (SimStats.instructions is
+    # the retired count).
     with tracer.span(
-        "simulate", "simulate", instructions=len(trace), config=config.label
+        "simulate", "simulate", records=len(trace), config=config.label
     ):
         return AuroraProcessor(config, policy, telemetry=telemetry).run(trace)

@@ -28,7 +28,7 @@ from repro.core.biu import BusInterfaceUnit
 from repro.telemetry.events import EventKind
 
 
-@dataclass
+@dataclass(slots=True)
 class _WCLine:
     line: int = -1  # line number (byte address >> line shift)
     page: int = -1
@@ -220,13 +220,19 @@ class WriteCache:
     # ------------------------------------------------------------- internals
 
     def _find(self, line_number: int) -> _WCLine | None:
+        # Invalid entries hold line == -1 and line numbers are derived
+        # from non-negative addresses, so equality alone is a hit test.
         for entry in self._lines:
-            if entry.valid and entry.line == line_number:
+            if entry.line == line_number:
                 return entry
         return None
 
     def _page_resident(self, page: int) -> bool:
-        return any(entry.valid and entry.page == page for entry in self._lines)
+        # An evicted entry keeps its stale page field, so validity must
+        # be checked here (unlike _find).
+        return any(
+            entry.line >= 0 and entry.page == page for entry in self._lines
+        )
 
     def _evict(self, entry: _WCLine, time: int) -> int:
         """Write the victim line back over the BIU. Returns completion."""

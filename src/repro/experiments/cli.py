@@ -5,12 +5,12 @@ Subcommands::
     aurora-sim run <workload> [--model baseline] [--issue 2] [--latency 17]
     aurora-sim suite [--suite int|fp] [--model baseline]
     aurora-sim experiments [--only fig4 table6 ...] [--factor 0.5] [--out d/]
-                           [--trace sweep-trace.json]
+                           [--trace sweep-trace.json] [--kernel batched]
     aurora-sim trace <workload> [--factor 0.05] [--out trace.ndjson]
     aurora-sim report <trace.ndjson> [--window 1000]
     aurora-sim spans <sweep-trace.json> [--min-ms 0.1]
     aurora-sim perf <workload> [--factor 0.05] [--check] [--seed-baseline]
-                    [--trace-path prepared|tuples]
+                    [--trace-path prepared|tuples] [--kernel scalar|batched]
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
 
@@ -37,6 +37,7 @@ from repro.core.config import (
     SMALL,
     MachineConfig,
 )
+from repro.core.kernel import KERNEL_NAMES
 from repro.cost.rbe import fpu_cost, ipu_cost
 from repro.experiments.exit_codes import (
     EXIT_ERROR,
@@ -91,12 +92,23 @@ def cmd_suite(args: argparse.Namespace) -> int:
     from repro.api import suite_results
 
     config = _configure(args)
-    results = suite_results(config, suite=args.suite)
+    results = suite_results(config, suite=args.suite, kernel=args.kernel)
     print(f"machine: {config.label}")
+    # Empty (zero-instruction) runs have NaN CPI by design; folding one
+    # into the mean would poison it, so they are skipped and flagged.
+    live = []
     for name, result in results.items():
-        print(f"  {name:<10} CPI={result.cpi:.3f}")
-    average = sum(r.cpi for r in results.values()) / len(results)
-    print(f"  {'average':<10} CPI={average:.3f}")
+        if result.stats.instructions:
+            live.append(result.cpi)
+            print(f"  {name:<10} CPI={result.cpi:.3f}")
+        else:
+            print(f"  {name:<10} CPI=n/a (empty run)")
+    if live:
+        average = sum(live) / len(live)
+        print(f"  {'average':<10} CPI={average:.3f}")
+    empty_runs = len(results) - len(live)
+    if empty_runs:
+        print(f"  ({empty_runs} empty runs skipped from the average)")
     return 0
 
 
@@ -118,6 +130,7 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             trace_out=args.trace,
             chaos=args.chaos,
             chaos_seed=args.chaos_seed,
+            kernel=args.kernel,
         )
     except ChaosError as error:
         print(f"error: --chaos: {error}", file=sys.stderr)
@@ -204,6 +217,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         use_cprofile=args.cprofile,
         top=args.top,
         trace_path=args.trace_path,
+        kernel=args.kernel,
     )
     print(report.render())
     history = PerfHistory(args.history)
@@ -261,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p_suite = sub.add_parser("suite", help="simulate a whole suite")
     p_suite.add_argument("--suite", choices=("int", "fp"), default="int")
+    p_suite.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                         help="simulation kernel (default follows "
+                              "REPRO_SIM_KERNEL)")
     _add_machine_args(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
@@ -276,6 +293,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="worker processes for parallel execution")
     p_exp.add_argument("--no-trace-cache", action="store_true",
                        help="disable the persistent on-disk trace cache")
+    p_exp.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                       help="simulation kernel: scalar walks the trace "
+                            "once per config, batched once per sweep "
+                            "(default follows REPRO_SIM_KERNEL)")
     p_exp.add_argument("--no-resume", action="store_true",
                        help="ignore the checkpoint manifest")
     p_exp.add_argument("--manifest", default=None,
@@ -352,6 +373,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace representation to feed the simulator "
                              "(history records tag it; --check refuses "
                              "cross-path comparisons)")
+    p_perf.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                        help="simulation kernel to profile (history "
+                             "records tag it; --check refuses cross-"
+                             "kernel comparisons; default follows "
+                             "REPRO_SIM_KERNEL)")
     _add_machine_args(p_perf)
     p_perf.set_defaults(func=cmd_perf)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import MachineConfig
-from repro.core.processor import simulate_trace
+from repro.core.kernel import simulate_many
 from repro.core.stats import SimStats
 from repro.func.trace import TraceRecord
 from repro.robustness.validation import validate_factor
@@ -55,23 +55,48 @@ def scaled_trace(name: str, factor: float = 1.0) -> list[TraceRecord]:
     return get_trace(name, scale)
 
 
+def suite_names(suite: str) -> tuple[str, ...]:
+    """Workload names for a suite id ("int" or "fp")."""
+    if suite == "int":
+        return INTEGER_SUITE
+    if suite == "fp":
+        return FP_SUITE
+    raise ValueError(f"unknown suite {suite!r}; expected 'int' or 'fp'")
+
+
+def sweep_suite_stats(
+    configs: list[MachineConfig],
+    suite: str = "int",
+    factor: float = 1.0,
+    kernel: str | None = None,
+) -> list[dict[str, SimStats]]:
+    """Run every workload in a suite on every config; one trace pass each.
+
+    The workhorse of the multi-config figure drivers: each workload's
+    trace is walked once through :func:`repro.core.kernel.simulate_many`
+    (so the batched kernel can advance all configs together), and the
+    result is a per-config list of ``{workload: SimStats}`` mappings,
+    index-aligned with ``configs``.  ``kernel`` overrides the
+    ``REPRO_SIM_KERNEL`` selection for this sweep.
+    """
+    names = suite_names(suite)
+    results: list[dict[str, SimStats]] = [{} for _ in configs]
+    for name in names:
+        trace = scaled_trace(name, factor)
+        for stats_map, result in zip(
+            results, simulate_many(trace, configs, kernel=kernel)
+        ):
+            stats_map[name] = result.stats
+    return results
+
+
 def suite_stats(
     config: MachineConfig,
     suite: str = "int",
     factor: float = 1.0,
 ) -> dict[str, SimStats]:
     """Run every workload in a suite on ``config``; returns per-name stats."""
-    if suite == "int":
-        names = INTEGER_SUITE
-    elif suite == "fp":
-        names = FP_SUITE
-    else:
-        raise ValueError(f"unknown suite {suite!r}; expected 'int' or 'fp'")
-    results = {}
-    for name in names:
-        trace = scaled_trace(name, factor)
-        results[name] = simulate_trace(trace, config).stats
-    return results
+    return sweep_suite_stats([config], suite=suite, factor=factor)[0]
 
 
 @dataclass
@@ -85,6 +110,10 @@ class CpiSummary:
     cpi_avg: float
     cpi_max: float
     per_benchmark: dict[str, float] = field(default_factory=dict)
+    #: Benchmarks whose run retired zero instructions (empty trace).
+    #: Their CPI is undefined (NaN at the result layer), so they are
+    #: skipped — not folded into min/avg/max — and counted here.
+    empty_runs: int = 0
 
     @classmethod
     def from_stats(
@@ -95,7 +124,15 @@ class CpiSummary:
                 f"CpiSummary {label!r}: empty suite stats — no benchmarks "
                 "were simulated for this configuration"
             )
-        cpis = {name: s.cpi for name, s in stats.items()}
+        cpis = {
+            name: s.cpi for name, s in stats.items() if s.instructions
+        }
+        empty_runs = len(stats) - len(cpis)
+        if not cpis:
+            raise ValueError(
+                f"CpiSummary {label!r}: all {empty_runs} runs retired zero "
+                "instructions (empty_runs counter); no CPI is defined"
+            )
         values = list(cpis.values())
         return cls(
             label=label,
@@ -104,7 +141,24 @@ class CpiSummary:
             cpi_avg=sum(values) / len(values),
             cpi_max=max(values),
             per_benchmark=cpis,
+            empty_runs=empty_runs,
         )
+
+
+def suite_average_cpi(stats: dict[str, SimStats]) -> float:
+    """Average CPI over a suite, skipping zero-instruction (empty) runs.
+
+    An empty run has no defined CPI (NaN at the result layer); folding it
+    into a mean poisons the aggregate, so such runs are excluded.  Raises
+    when every run is empty — there is no average to report.
+    """
+    values = [s.cpi for s in stats.values() if s.instructions]
+    if not values:
+        raise ValueError(
+            f"all {len(stats)} suite runs retired zero instructions; "
+            "no average CPI is defined"
+        )
+    return sum(values) / len(values)
 
 
 def format_table(

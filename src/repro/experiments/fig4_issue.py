@@ -21,7 +21,7 @@ from repro.cost.rbe import ipu_cost
 from repro.experiments.common import (
     CpiSummary,
     format_capped_bars,
-    suite_stats,
+    sweep_suite_stats,
 )
 
 
@@ -61,19 +61,19 @@ def run(
 ) -> Fig4Result:
     result = Fig4Result()
     for latency in latencies:
-        points: list[CpiSummary] = []
-        for issue_width, issue_name in ((1, "single"), (2, "dual")):
-            for model in models:
-                config = model.with_(
-                    issue_width=issue_width, mem_latency=latency
-                )
-                stats = suite_stats(config, suite="int", factor=factor)
-                points.append(
-                    CpiSummary.from_stats(
-                        f"{model.name}/{issue_name}",
-                        ipu_cost(config).total,
-                        stats,
-                    )
-                )
-        result.by_latency[latency] = points
+        labelled = [
+            (
+                f"{model.name}/{issue_name}",
+                model.with_(issue_width=issue_width, mem_latency=latency),
+            )
+            for issue_width, issue_name in ((1, "single"), (2, "dual"))
+            for model in models
+        ]
+        sweep = sweep_suite_stats(
+            [config for _, config in labelled], suite="int", factor=factor
+        )
+        result.by_latency[latency] = [
+            CpiSummary.from_stats(label, ipu_cost(config).total, stats)
+            for (label, config), stats in zip(labelled, sweep)
+        ]
     return result

@@ -21,7 +21,7 @@ from repro.cost.rbe import ipu_cost
 from repro.experiments.common import (
     CpiSummary,
     format_capped_bars,
-    suite_stats,
+    sweep_suite_stats,
 )
 
 
@@ -72,21 +72,29 @@ def run(
 ) -> Fig5Result:
     result = Fig5Result()
     for latency in latencies:
+        labelled = [
+            (
+                key,
+                f"{model.name}/{'pf' if enabled else 'nopf'}",
+                model.with_(
+                    issue_width=2,
+                    mem_latency=latency,
+                    prefetch_enabled=enabled,
+                ),
+            )
+            for model in models
+            for enabled, key in ((True, "prefetch"), (False, "no_prefetch"))
+        ]
+        sweep = sweep_suite_stats(
+            [config for _, _, config in labelled], suite="int", factor=factor
+        )
         variants: dict[str, list[CpiSummary]] = {
             "prefetch": [],
             "no_prefetch": [],
         }
-        for model in models:
-            for enabled, key in ((True, "prefetch"), (False, "no_prefetch")):
-                config = model.with_(
-                    issue_width=2,
-                    mem_latency=latency,
-                    prefetch_enabled=enabled,
-                )
-                stats = suite_stats(config, suite="int", factor=factor)
-                label = f"{model.name}/{'pf' if enabled else 'nopf'}"
-                variants[key].append(
-                    CpiSummary.from_stats(label, ipu_cost(config).total, stats)
-                )
+        for (key, label, config), stats in zip(labelled, sweep):
+            variants[key].append(
+                CpiSummary.from_stats(label, ipu_cost(config).total, stats)
+            )
         result.by_latency[latency] = variants
     return result

@@ -20,7 +20,11 @@ from dataclasses import dataclass, field
 
 from repro.core.config import TABLE1_MODELS, MachineConfig
 from repro.core.stats import StallKind
-from repro.experiments.common import format_table, suite_stats
+from repro.experiments.common import (
+    format_table,
+    suite_average_cpi,
+    sweep_suite_stats,
+)
 
 
 @dataclass
@@ -56,14 +60,19 @@ def run(
     models: tuple[MachineConfig, ...] = TABLE1_MODELS,
 ) -> Fig6Result:
     result = Fig6Result()
-    for model in models:
-        config = model.with_(issue_width=2, mem_latency=latency)
-        stats = suite_stats(config, suite="int", factor=factor)
-        count = len(stats)
+    configs = [
+        model.with_(issue_width=2, mem_latency=latency) for model in models
+    ]
+    sweep = sweep_suite_stats(configs, suite="int", factor=factor)
+    for model, stats in zip(models, sweep):
+        # Empty (zero-instruction) runs have no defined per-instruction
+        # penalty; skip them rather than fold zeros into the averages.
+        live = [s for s in stats.values() if s.instructions]
+        count = len(live)
         by_kind = {
-            kind: sum(s.stall_cpi(kind) for s in stats.values()) / count
+            kind: sum(s.stall_cpi(kind) for s in live) / count
             for kind in StallKind.paper_categories()
         }
         result.penalties[model.name] = by_kind
-        result.total_cpi[model.name] = sum(s.cpi for s in stats.values()) / count
+        result.total_cpi[model.name] = suite_average_cpi(stats)
     return result

@@ -23,7 +23,8 @@ from repro.experiments.common import (
     CpiSummary,
     format_capped_bars,
     format_table,
-    suite_stats,
+    suite_average_cpi,
+    sweep_suite_stats,
 )
 
 #: The paper's "mshr variations": model name -> varied MSHR count.
@@ -74,27 +75,27 @@ def run(
     result = Fig7Result()
     for model in models:
         standard = model.with_(issue_width=2, mem_latency=latency)
-        stats = suite_stats(standard, suite="int", factor=factor)
+        varied = standard.with_(mshr_entries=VARIATIONS[model.name])
+        configs = [standard, varied] + [
+            standard.with_(mshr_entries=count) for count in sweep_counts
+        ]
+        sweep = sweep_suite_stats(configs, suite="int", factor=factor)
         result.standard.append(
             CpiSummary.from_stats(
                 f"{model.name}/mshr{model.mshr_entries}",
                 ipu_cost(standard).total,
-                stats,
+                sweep[0],
             )
         )
-        varied = standard.with_(mshr_entries=VARIATIONS[model.name])
-        stats = suite_stats(varied, suite="int", factor=factor)
         result.varied.append(
             CpiSummary.from_stats(
                 f"{model.name}/mshr{varied.mshr_entries}",
                 ipu_cost(varied).total,
-                stats,
+                sweep[1],
             )
         )
-        result.sweep[model.name] = {}
-        for count in sweep_counts:
-            config = standard.with_(mshr_entries=count)
-            stats = suite_stats(config, suite="int", factor=factor)
-            average = sum(s.cpi for s in stats.values()) / len(stats)
-            result.sweep[model.name][count] = average
+        result.sweep[model.name] = {
+            count: suite_average_cpi(stats)
+            for count, stats in zip(sweep_counts, sweep[2:])
+        }
     return result

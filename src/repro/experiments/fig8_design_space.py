@@ -27,7 +27,7 @@ from repro.core.config import (
     SMALL,
     MachineConfig,
 )
-from repro.core.processor import simulate_trace
+from repro.core.kernel import simulate_many
 from repro.cost.rbe import ipu_cost
 from repro.experiments.common import format_table, scaled_trace
 
@@ -41,28 +41,54 @@ class DesignPoint:
     cost: float
     cpi: float
     marker: str = ""  # A/B/C/D/E annotations
+    #: True when the run retired zero instructions: the CPI field is
+    #: meaningless (0.0 placeholder) and the point must not compete in
+    #: frontier math.
+    empty: bool = False
 
 
 @dataclass
 class Fig8Result:
     points: list[DesignPoint] = field(default_factory=list)
 
+    @property
+    def empty_runs(self) -> int:
+        """Design points whose run retired zero instructions (skipped)."""
+        return sum(1 for p in self.points if p.empty)
+
     def marked(self, marker: str) -> list[DesignPoint]:
         return [p for p in self.points if p.marker == marker]
 
     def best(self) -> DesignPoint:
-        return min(self.points, key=lambda p: p.cpi)
+        live = [p for p in self.points if not p.empty]
+        if not live:
+            raise ValueError(
+                f"Figure 8: all {self.empty_runs} design points retired "
+                "zero instructions (empty_runs counter); no frontier exists"
+            )
+        return min(live, key=lambda p: p.cpi)
 
     def render(self) -> str:
         rows = [
-            [p.label, f"{p.cost:,.0f}", f"{p.cpi:.3f}", p.marker]
+            [
+                p.label,
+                f"{p.cost:,.0f}",
+                "(empty)" if p.empty else f"{p.cpi:.3f}",
+                p.marker,
+            ]
             for p in sorted(self.points, key=lambda p: p.cost)
         ]
-        return format_table(
+        table = format_table(
             ["configuration", "cost (RBE)", "CPI", "mark"],
             rows,
             title="Figure 8: espresso full cost-performance (17-cycle latency)",
         )
+        if self.empty_runs:
+            table += (
+                f"\n({self.empty_runs} empty runs skipped: "
+                "zero instructions retired)"
+            )
+        return table
 
 
 def _design_points() -> list[tuple[str, MachineConfig, str]]:
@@ -114,8 +140,10 @@ def _design_points() -> list[tuple[str, MachineConfig, str]]:
 def run(factor: float = 1.0, workload: str = "espresso") -> Fig8Result:
     trace = scaled_trace(workload, factor)
     result = Fig8Result()
-    for label, config, marker in _design_points():
-        stats = simulate_trace(trace, config).stats
+    catalogue = _design_points()
+    batch = simulate_many(trace, [config for _, config, _ in catalogue])
+    for (label, config, marker), sim in zip(catalogue, batch):
+        stats = sim.stats
         result.points.append(
             DesignPoint(
                 label=label,
@@ -123,6 +151,7 @@ def run(factor: float = 1.0, workload: str = "espresso") -> Fig8Result:
                 cost=ipu_cost(config).total,
                 cpi=stats.cpi,
                 marker=marker,
+                empty=stats.instructions == 0,
             )
         )
     return result

@@ -22,7 +22,11 @@ from dataclasses import dataclass, field
 
 from repro.core.config import BASELINE, FPIssuePolicy, MachineConfig
 from repro.cost.rbe import fpu_cost
-from repro.experiments.common import format_table, suite_stats
+from repro.experiments.common import (
+    format_table,
+    suite_average_cpi,
+    sweep_suite_stats,
+)
 
 #: sweep name -> (FPUConfig field, values, issue policy)
 SWEEPS: dict[str, tuple[str, tuple[int, ...], FPIssuePolicy]] = {
@@ -100,10 +104,20 @@ class Fig9Result:
         return "\n\n".join(parts)
 
 
-def _average_cpi(config: MachineConfig, factor: float) -> tuple[float, dict]:
-    stats = suite_stats(config, suite="fp", factor=factor)
-    per_benchmark = {name: s.cpi for name, s in stats.items()}
-    return sum(per_benchmark.values()) / len(per_benchmark), per_benchmark
+def _average_cpis(
+    configs: list[MachineConfig], factor: float
+) -> list[tuple[float, dict]]:
+    """(suite-average CPI, per-benchmark CPI) per config, one trace pass.
+
+    Empty (zero-instruction) runs are skipped from both, not averaged in.
+    """
+    out = []
+    for stats in sweep_suite_stats(configs, suite="fp", factor=factor):
+        per_benchmark = {
+            name: s.cpi for name, s in stats.items() if s.instructions
+        }
+        out.append((suite_average_cpi(stats), per_benchmark))
+    return out
 
 
 def run(
@@ -115,20 +129,22 @@ def run(
     selected = sweeps if sweeps is not None else tuple(SWEEPS)
     for name in selected:
         fpu_field, values, policy = SWEEPS[name]
-        points = []
-        for value in values:
-            fpu = base.fpu.with_(**{fpu_field: value, "issue_policy": policy})
-            config = base.with_(fpu=fpu)
-            avg, per_benchmark = _average_cpi(config, factor)
-            points.append(
-                SweepPoint(
-                    value=value,
-                    cost=fpu_cost(fpu).total,
-                    cpi_avg=avg,
-                    per_benchmark=per_benchmark,
-                )
+        fpus = [
+            base.fpu.with_(**{fpu_field: value, "issue_policy": policy})
+            for value in values
+        ]
+        averaged = _average_cpis(
+            [base.with_(fpu=fpu) for fpu in fpus], factor
+        )
+        result.sweeps[name] = [
+            SweepPoint(
+                value=value,
+                cost=fpu_cost(fpu).total,
+                cpi_avg=avg,
+                per_benchmark=per_benchmark,
             )
-        result.sweeps[name] = points
+            for value, fpu, (avg, per_benchmark) in zip(values, fpus, averaged)
+        ]
     # Pipelining ablation (Section 5.10).
     piped = base.with_(
         fpu=base.fpu.with_(add_pipelined=True, mul_pipelined=True)
@@ -136,6 +152,7 @@ def run(
     unpiped = base.with_(
         fpu=base.fpu.with_(add_pipelined=False, mul_pipelined=False)
     )
-    result.pipelining["pipelined"], _ = _average_cpi(piped, factor)
-    result.pipelining["non_pipelined"], _ = _average_cpi(unpiped, factor)
+    averaged = _average_cpis([piped, unpiped], factor)
+    result.pipelining["pipelined"] = averaged[0][0]
+    result.pipelining["non_pipelined"] = averaged[1][0]
     return result

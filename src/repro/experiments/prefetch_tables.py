@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import TABLE1_MODELS, MachineConfig
-from repro.experiments.common import format_table, percent, suite_stats
+from repro.experiments.common import format_table, percent, sweep_suite_stats
 from repro.workloads.registry import INTEGER_SUITE
 
 
@@ -55,9 +55,11 @@ def run(
     models: tuple[MachineConfig, ...] = TABLE1_MODELS,
 ) -> PrefetchTables:
     result = PrefetchTables()
-    for model in models:
-        config = model.with_(issue_width=2, mem_latency=latency)
-        stats = suite_stats(config, suite="int", factor=factor)
+    configs = [
+        model.with_(issue_width=2, mem_latency=latency) for model in models
+    ]
+    sweep = sweep_suite_stats(configs, suite="int", factor=factor)
+    for model, stats in zip(models, sweep):
         result.instruction[model.name] = {
             name: s.iprefetch_hit_rate for name, s in stats.items()
         }

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import BASELINE, FPIssuePolicy, MachineConfig
-from repro.experiments.common import format_table, suite_stats
+from repro.experiments.common import format_table, sweep_suite_stats
 from repro.workloads.registry import FP_SUITE
 
 POLICIES = (
@@ -57,10 +57,12 @@ def run(
     base: MachineConfig = BASELINE,
 ) -> Table6Result:
     result = Table6Result()
-    stats_by_policy = {}
-    for policy in POLICIES:
-        config = base.with_(fpu=base.fpu.with_(issue_policy=policy))
-        stats_by_policy[policy] = suite_stats(config, suite="fp", factor=factor)
+    configs = [
+        base.with_(fpu=base.fpu.with_(issue_policy=policy))
+        for policy in POLICIES
+    ]
+    sweep = sweep_suite_stats(configs, suite="fp", factor=factor)
+    stats_by_policy = dict(zip(POLICIES, sweep))
     for name in FP_SUITE:
         result.cpi[name] = {
             policy: stats_by_policy[policy][name].cpi for policy in POLICIES

@@ -74,7 +74,7 @@ class PreparedTrace(collections.abc.Sequence):
         "_array", "pc", "kind", "dst", "src1", "src2", "addr",
         "mem_mask", "fp_dispatch_mask", "branch_taken_mask",
         "_columns", "_flag_lists", "_line_lists",
-        "prepare_seconds", "source", "validated",
+        "prepare_seconds", "source", "validated", "__weakref__",
     )
 
     def __init__(

@@ -86,6 +86,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.core.kernel import batch_snapshot, kernel_mode
 from repro.func.prepared import prepare_snapshot
 from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
 from repro.telemetry import tracing
@@ -144,6 +145,11 @@ class ExperimentOutcome:
     #: that fell back to in-memory-only and entries failing checksum.
     cache_degraded: int = 0
     cache_checksum_failures: int = 0
+    #: Batched-kernel usage attributed to this experiment: grouped
+    #: simulate_many calls and the configs they advanced (zero under the
+    #: scalar kernel).
+    batched_calls: int = 0
+    batched_configs: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -290,12 +296,14 @@ def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
     base_hits, base_misses = trace_cache.snapshot()
     base_degraded, base_checksum = trace_cache.health_snapshot()
     base_prepares, base_prepare_seconds = prepare_snapshot()
+    base_batch_calls, base_batch_configs = batch_snapshot()
     started = time.monotonic()
 
     def _envelope(payload: dict) -> dict:
         hits, misses = trace_cache.snapshot()
         degraded, checksum = trace_cache.health_snapshot()
         prepares, prepare_seconds = prepare_snapshot()
+        batch_calls, batch_configs = batch_snapshot()
         payload.update(
             wall=time.monotonic() - started,
             pid=os.getpid(),
@@ -305,6 +313,8 @@ def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
             cache_checksum_failures=checksum - base_checksum,
             prepares=prepares - base_prepares,
             prepare_seconds=prepare_seconds - base_prepare_seconds,
+            batched_calls=batch_calls - base_batch_calls,
+            batched_configs=batch_configs - base_batch_configs,
         )
         if worker_tracer is not None:
             payload["spans"] = worker_tracer.finished_records()
@@ -600,6 +610,13 @@ class ResilientRunner:
                 registry.counter("runner.cache_checksum_failures").inc(
                     outcome.cache_checksum_failures
                 )
+            if outcome.batched_calls:
+                registry.counter("runner.batched_calls").inc(
+                    outcome.batched_calls
+                )
+                registry.counter("runner.batched_configs").inc(
+                    outcome.batched_configs
+                )
             if outcome.status == "ok":
                 registry.histogram("runner.elapsed_seconds").observe(
                     outcome.elapsed
@@ -634,11 +651,15 @@ class ResilientRunner:
             per_exp.gauge("runner.trace_prepare_seconds").set(
                 outcome.prepare_seconds
             )
+            per_exp.counter("runner.batched_calls").inc(outcome.batched_calls)
+            per_exp.counter("runner.batched_configs").inc(
+                outcome.batched_configs
+            )
             per_exp.gauge("runner.elapsed_seconds").set(outcome.elapsed)
             per_exp.gauge("runner.ok").set(1.0 if outcome.succeeded else 0.0)
             stats = getattr(result, "stats", None)
             if stats is not None and hasattr(stats, "stall_cycles"):
-                publish_stats(stats, per_exp)
+                publish_stats(stats, per_exp, kernel=kernel_mode())
             per_exp.write_json(out_path / "metrics" / f"{exp_id}.json")
 
         def finish(exp_id, outcome, text, result):
@@ -648,6 +669,10 @@ class ResilientRunner:
             export_experiment_metrics(exp_id, outcome, result)
             stats = getattr(result, "stats", None)
             if stats is not None and hasattr(stats, "cycles"):
+                if not stats.instructions:
+                    # Empty run: no CPI is defined, so it must not feed
+                    # the throughput gauges silently — count it instead.
+                    registry.counter("runner.empty_runs").inc()
                 sim_totals["cycles"] += stats.cycles
                 sim_totals["instructions"] += stats.instructions
             if outcome.status == "ok":
@@ -833,6 +858,7 @@ class ResilientRunner:
         base_hits, base_misses = trace_cache.snapshot()
         base_degraded, base_checksum = trace_cache.health_snapshot()
         base_prepares, base_prepare_seconds = prepare_snapshot()
+        base_batch_calls, base_batch_configs = batch_snapshot()
 
         def cache_delta() -> dict:
             hits, misses = trace_cache.snapshot()
@@ -851,6 +877,13 @@ class ResilientRunner:
                 "prepare_seconds": seconds - base_prepare_seconds,
             }
 
+        def batch_delta() -> dict:
+            batch_calls, batch_configs = batch_snapshot()
+            return {
+                "batched_calls": batch_calls - base_batch_calls,
+                "batched_configs": batch_configs - base_batch_configs,
+            }
+
         while True:
             attempts += 1
             try:
@@ -865,6 +898,7 @@ class ResilientRunner:
                         elapsed,
                         **cache_delta(),
                         **prepare_delta(),
+                        **batch_delta(),
                     ),
                     text,
                     result,
@@ -880,6 +914,7 @@ class ResilientRunner:
                         str(error),
                         **cache_delta(),
                         **prepare_delta(),
+                        **batch_delta(),
                     ),
                     None,
                     None,
@@ -903,6 +938,7 @@ class ResilientRunner:
                         cause,
                         **cache_delta(),
                         **prepare_delta(),
+                        **batch_delta(),
                     ),
                     None,
                     None,
@@ -1200,6 +1236,12 @@ class ResilientRunner:
                                 prepare_seconds=envelope.get(
                                     "prepare_seconds", 0.0
                                 ),
+                                batched_calls=envelope.get(
+                                    "batched_calls", 0
+                                ),
+                                batched_configs=envelope.get(
+                                    "batched_configs", 0
+                                ),
                             ),
                             envelope["text"],
                             envelope["result"],
@@ -1244,6 +1286,10 @@ class ResilientRunner:
                             prepares=envelope.get("prepares", 0),
                             prepare_seconds=envelope.get(
                                 "prepare_seconds", 0.0
+                            ),
+                            batched_calls=envelope.get("batched_calls", 0),
+                            batched_configs=envelope.get(
+                                "batched_configs", 0
                             ),
                         ),
                         None,

@@ -44,6 +44,20 @@ _HEAD = 4096
 #: Beyond the head, validate every ``_STRIDE``-th record.
 _STRIDE = 1009  # prime, so sampling never locks onto loop periods
 
+#: Process-wide validation accounting (observability, and the memo's
+#: regression tests): full vectorized prepared-trace passes actually run
+#: vs. calls answered by the per-instance memo.  The memo lives *on* the
+#: PreparedTrace (its ``validated`` slot) precisely so this module never
+#: holds a reference that would pin shared traces alive across grouped
+#: experiments.
+_PREPARED_PASSES = 0
+_MEMO_HITS = 0
+
+
+def validation_snapshot() -> tuple[int, int]:
+    """(vectorized prepared passes run, memoized re-validations) so far."""
+    return (_PREPARED_PASSES, _MEMO_HITS)
+
 
 class TraceValidationError(ValueError):
     """A trace record is structurally invalid; names index and field."""
@@ -101,9 +115,13 @@ def validate_trace(
     from repro.func.prepared import PreparedTrace
 
     if isinstance(trace, PreparedTrace):
+        global _PREPARED_PASSES, _MEMO_HITS
         if not trace.validated:
+            _PREPARED_PASSES += 1
             _validate_prepared(trace)
             trace.validated = True
+        else:
+            _MEMO_HITS += 1
         return
     for index in range(min(head, length)):
         problem = _record_problem(trace[index])
@@ -167,11 +185,13 @@ def validate_environment(environ: Mapping[str, str] | None = None) -> None:
     """Eagerly validate the ``REPRO_*`` switches the sweep stack reads.
 
     Checked: ``REPRO_TRACE_PATH`` (trace representation),
-    ``REPRO_TRACE_CACHE`` / ``REPRO_TRACE_CACHE_VERIFY`` (on/off
-    switches) and ``REPRO_TRACE_CACHE_DIR`` (must not name an existing
+    ``REPRO_SIM_KERNEL`` (simulation kernel), ``REPRO_TRACE_CACHE`` /
+    ``REPRO_TRACE_CACHE_VERIFY`` (on/off switches) and
+    ``REPRO_TRACE_CACHE_DIR`` (must not name an existing
     non-directory).  Unset or empty variables are always fine — they
     mean "use the default".
     """
+    from repro.core.kernel import KernelError, kernel_mode
     from repro.workloads import registry, trace_cache
 
     env = os.environ if environ is None else environ
@@ -183,6 +203,11 @@ def validate_environment(environ: Mapping[str, str] | None = None) -> None:
             f"{registry.ENV_TRACE_PATH}={trace_path!r}: "
             "expected 'prepared' or 'tuples'"
         )
+
+    try:
+        kernel_mode(env)
+    except KernelError as error:
+        problems.append(str(error))
 
     switch_values = trace_cache._ON_VALUES + trace_cache._OFF_VALUES
     for variable in (trace_cache.ENV_SWITCH, trace_cache.ENV_VERIFY):

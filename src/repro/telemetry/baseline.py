@@ -22,11 +22,14 @@ Document format (``version`` 1)::
 
 Comparisons are only meaningful between like runs, so ``compare``
 refuses to judge a record against a baseline with a different
-``(workload, factor, config, trace_path)`` key — a changed sweep is a
-new series, not a regression.  ``trace_path`` ("prepared" | "tuples",
-which trace representation the simulator consumed) is optional in the
-document for compatibility with records written before it existed;
-absent means "tuples", the only path that existed then.
+``(workload, factor, config, trace_path, kernel)`` key — a changed
+sweep is a new series, not a regression.  Two fields are optional for
+compatibility with records written before they existed: ``trace_path``
+("prepared" | "tuples", which trace representation the simulator
+consumed; absent means "tuples", the only path that existed then) and
+``kernel`` ("scalar" | "batched", which simulation kernel ran; absent
+means "scalar" — every record predating the batched kernel came from
+the scalar loop, so old records still compare against scalar runs).
 """
 
 from __future__ import annotations
@@ -64,11 +67,18 @@ _SCHEMA: dict[str, tuple[type, ...]] = {
 #: types, allowed values or None).
 _OPTIONAL_SCHEMA: dict[str, tuple[tuple[type, ...], tuple | None]] = {
     "trace_path": ((str,), ("prepared", "tuples")),
+    "kernel": ((str,), ("scalar", "batched")),
 }
 
 #: What an absent ``trace_path`` means: every record written before the
 #: field existed came from the plain record-list path.
 LEGACY_TRACE_PATH = "tuples"
+#: What an absent ``kernel`` means: every record written before the
+#: field existed came from the scalar timing loop.
+LEGACY_KERNEL = "scalar"
+
+#: Series-key fields whose absence has a defined legacy meaning.
+_LEGACY_DEFAULTS = {"trace_path": LEGACY_TRACE_PATH, "kernel": LEGACY_KERNEL}
 
 
 class BaselineError(ValueError):
@@ -256,9 +266,10 @@ class PerfHistory:
 
         Raises :class:`BaselineError` when no baseline is stored or when
         the baseline belongs to a different (workload, factor, config,
-        trace_path) series — in particular, a prepared-path run is never
-        judged against a tuple-path baseline (or vice versa): the
-        representations have different throughput by design.
+        trace_path, kernel) series — in particular, a prepared-path run
+        is never judged against a tuple-path baseline, nor a batched-
+        kernel run against a scalar one (or vice versa): those series
+        have different throughput by design.
         """
         if not 0 < threshold < 1:
             raise BaselineError(
@@ -271,9 +282,10 @@ class PerfHistory:
                 f"{self.path}: no baseline stored — seed one with "
                 "'aurora-sim perf --seed-baseline' first"
             )
-        for key in ("workload", "factor", "config", "trace_path"):
-            mine = record.get(key, LEGACY_TRACE_PATH)
-            theirs = baseline.get(key, LEGACY_TRACE_PATH)
+        for key in ("workload", "factor", "config", "trace_path", "kernel"):
+            legacy = _LEGACY_DEFAULTS.get(key)
+            mine = record.get(key, legacy)
+            theirs = baseline.get(key, legacy)
             if mine != theirs:
                 raise BaselineError(
                     f"{self.path}: baseline is for "

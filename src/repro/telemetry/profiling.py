@@ -146,6 +146,10 @@ class PerfReport:
     #: or "tuples" (plain record lists).  Part of the perf-history series
     #: key — throughput across the two paths is not comparable.
     trace_path: str = "prepared"
+    #: Simulation kernel that ran: "scalar" or "batched".  Also part of
+    #: the perf-history series key (see telemetry.baseline's schema note:
+    #: records written before this field existed mean "scalar").
+    kernel: str = "scalar"
     phase_fractions: dict[str, float] = field(default_factory=dict)
     phase_samples: int = 0
     cprofile_top: str | None = None
@@ -183,12 +187,14 @@ class PerfReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "trace_path": self.trace_path,
+            "kernel": self.kernel,
         }
 
     def render(self) -> str:
         lines = [
             f"perf: {self.workload} @ factor {self.factor:g} "
-            f"on {self.config_label} [{self.trace_path} trace path]",
+            f"on {self.config_label} "
+            f"[{self.trace_path} trace path, {self.kernel} kernel]",
             f"  instructions        {self.instructions:>14,}",
             f"  simulated cycles    {self.sim_cycles:>14,}",
             f"  simulate wall       {self.wall_seconds:>14.3f} s"
@@ -228,6 +234,7 @@ def profile_workload(
     use_cprofile: bool = False,
     top: int = DEFAULT_TOP,
     trace_path: str = "prepared",
+    kernel: str | None = None,
 ) -> PerfReport:
     """Profile one timing-simulation run of ``name`` at ``factor``.
 
@@ -236,10 +243,13 @@ def profile_workload(
     cProfile wrap only the simulation call.  ``trace_path`` selects the
     representation fed to the simulator: ``"prepared"`` (the columnar
     default) or ``"tuples"`` (the plain record-list path, for measuring
-    the columnar speedup).
+    the columnar speedup).  ``kernel`` selects the simulation kernel
+    (``"scalar"`` | ``"batched"``; ``None`` follows ``REPRO_SIM_KERNEL``)
+    — the history record tags the run so the two series never compare.
     """
     # Local imports: the telemetry package must stay importable from the
     # modules this profiles (processor, trace cache) without a cycle.
+    from repro.core.kernel import get_kernel
     from repro.core.processor import simulate_trace
     from repro.experiments.common import scaled_trace
     from repro.telemetry import tracing
@@ -249,6 +259,7 @@ def profile_workload(
         raise ValueError(
             f"trace_path must be 'prepared' or 'tuples', got {trace_path!r}"
         )
+    kernel_obj = get_kernel(kernel)
     base_hits, base_misses = trace_cache.snapshot()
     trace_started = time.perf_counter()
     previous_mode = os.environ.get(registry.ENV_TRACE_PATH)
@@ -264,6 +275,16 @@ def profile_workload(
     trace_seconds = time.perf_counter() - trace_started
     hits, misses = trace_cache.snapshot()
 
+    if kernel_obj.name == "scalar":
+        simulate = simulate_trace
+    else:
+        # Mirrors simulate_trace (validate + span + run) so the two
+        # kernels' throughput series measure the same pipeline.
+        def simulate(trace, config):
+            from repro.core.kernel import simulate_many
+
+            return simulate_many(trace, [config], kernel=kernel_obj)[0]
+
     sampler = (
         PhaseSampler(interval=interval).start() if sample else None
     )
@@ -271,9 +292,9 @@ def profile_workload(
     started = time.perf_counter()
     try:
         if profiler is not None:
-            result = profiler.runcall(simulate_trace, trace, config)
+            result = profiler.runcall(simulate, trace, config)
         else:
-            result = simulate_trace(trace, config)
+            result = simulate(trace, config)
     finally:
         wall = time.perf_counter() - started
         if sampler is not None:
@@ -302,6 +323,7 @@ def profile_workload(
         cache_hits=hits - base_hits,
         cache_misses=misses - base_misses,
         trace_path=trace_path,
+        kernel=kernel_obj.name,
         phase_fractions=sampler.fractions() if sampler else {},
         phase_samples=sampler.total_samples if sampler else 0,
         cprofile_top=cprofile_top,

@@ -357,3 +357,81 @@ class TestFig9:
 
     def test_render(self, queues):
         assert "Figure 9" in queues.render()
+
+
+class TestEmptyRuns:
+    """Empty-trace runs are skipped and counted, never folded into CPI.
+
+    Regression: a zero-instruction run used to contribute a 0.0 "CPI" to
+    suite aggregates (and, once the result layer made empty CPIs NaN,
+    would have poisoned every average it touched).
+    """
+
+    def test_cpi_summary_skips_and_counts(self):
+        from repro.core.stats import SimStats
+        from repro.experiments.common import CpiSummary
+
+        live = SimStats(instructions=100, cycles=150)
+        summary = CpiSummary.from_stats(
+            "baseline", 0.0, {"espresso": live, "compress": SimStats()}
+        )
+        assert summary.empty_runs == 1
+        assert summary.per_benchmark == {"espresso": 1.5}
+        assert summary.cpi_min == summary.cpi_avg == summary.cpi_max == 1.5
+
+    def test_all_empty_raises_naming_the_counter(self):
+        from repro.core.stats import SimStats
+        from repro.experiments.common import CpiSummary
+
+        with pytest.raises(ValueError, match="empty_runs"):
+            CpiSummary.from_stats(
+                "baseline", 0.0, {"a": SimStats(), "b": SimStats()}
+            )
+
+    def test_suite_average_skips_empty(self):
+        from repro.core.stats import SimStats
+        from repro.experiments.common import suite_average_cpi
+
+        stats = {
+            "live": SimStats(instructions=10, cycles=30),
+            "empty": SimStats(),
+        }
+        assert suite_average_cpi(stats) == 3.0
+        with pytest.raises(ValueError, match="zero instructions"):
+            suite_average_cpi({"empty": SimStats()})
+
+    @pytest.fixture
+    def empty_compress(self, monkeypatch):
+        """One suite workload (compress) hands the sweep an empty trace."""
+        from repro.experiments import common
+
+        real = common.scaled_trace
+        monkeypatch.setattr(
+            common,
+            "scaled_trace",
+            lambda name, factor=1.0: (
+                [] if name == "compress" else real(name, factor)
+            ),
+        )
+
+    def test_full_sweep_and_report_flag_the_empty_run(
+        self, empty_compress
+    ):
+        result = fig4_issue.run(latencies=(17,), factor=FACTOR)
+        for summary in result.by_latency[17]:
+            assert summary.empty_runs == 1
+            assert "compress" not in summary.per_benchmark
+        assert "nan" not in result.render().lower()
+
+    def test_fig8_empty_trace_report(self, monkeypatch):
+        monkeypatch.setattr(
+            fig8_design_space, "scaled_trace", lambda name, factor=1.0: []
+        )
+        result = fig8_design_space.run(factor=FACTOR)
+        assert result.empty_runs == len(result.points) > 0
+        text = result.render()
+        assert "(empty)" in text
+        assert "empty runs skipped" in text
+        assert "nan" not in text.lower()
+        with pytest.raises(ValueError, match="empty_runs"):
+            result.best()

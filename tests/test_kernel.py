@@ -1,0 +1,184 @@
+"""Kernel boundary tests: the scalar oracle, the batched kernel, selection.
+
+The contract under test is the one the module docstring of
+:mod:`repro.core.kernel` states: every kernel yields byte-identical
+per-config :class:`~repro.core.stats.SimStats`, with the scalar kernel
+as the oracle.  The oracle suite runs both benchmark suites (one small
+trace each) across the three paper models at batch widths 1, 3 and a
+full mixed grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.kernel import (
+    ENV_KERNEL,
+    KERNEL_NAMES,
+    BatchedKernel,
+    KernelError,
+    ScalarKernel,
+    batch_snapshot,
+    get_kernel,
+    kernel_mode,
+    simulate_many,
+)
+from repro.telemetry import tracing
+from repro.telemetry.events import EventBus
+
+
+def _full_grid(models):
+    """The three models plus variants that stress divergent structures.
+
+    The first three entries are exactly ``models`` so width-3 oracle
+    comparisons can reuse the grid's scalar reference.
+    """
+    small, baseline, large = models
+    return [
+        small,
+        baseline,
+        large,
+        baseline.with_(issue_width=1),
+        baseline.with_(mem_latency=35),
+        baseline.with_(mshr_entries=1),
+        baseline.with_(rob_entries=8),
+        large.without_prefetch(),
+    ]
+
+
+@pytest.fixture(
+    scope="module", params=["espresso_trace_small", "fp_trace_small"]
+)
+def suite_trace(request):
+    """One small trace per benchmark suite (int: espresso, fp: hydro2d)."""
+    return request.getfixturevalue(request.param)
+
+
+class TestOracle:
+    """Batched stats must equal the scalar kernel's, config for config."""
+
+    def test_width_one(self, suite_trace, models):
+        for config in _full_grid(models):
+            expected = simulate_many(
+                suite_trace, [config], kernel="scalar"
+            )[0]
+            got = simulate_many(suite_trace, [config], kernel="batched")[0]
+            assert got.stats == expected.stats, config.label
+            assert got.config is config
+
+    def test_width_three(self, suite_trace, models):
+        oracle = simulate_many(suite_trace, list(models), kernel="scalar")
+        batch = simulate_many(suite_trace, list(models), kernel="batched")
+        assert [r.stats for r in batch] == [r.stats for r in oracle]
+
+    def test_full_grid(self, suite_trace, models):
+        grid = _full_grid(models)
+        oracle = simulate_many(suite_trace, grid, kernel="scalar")
+        batch = simulate_many(suite_trace, grid, kernel="batched")
+        assert [r.stats for r in batch] == [r.stats for r in oracle]
+        # Results stay index-aligned with the configs passed in.
+        for config, result in zip(grid, batch):
+            assert result.config is config
+
+    def test_plain_record_lists(self, counting_trace, models):
+        # The batched kernel must also accept the tuple representation.
+        oracle = simulate_many(counting_trace, list(models), kernel="scalar")
+        batch = simulate_many(counting_trace, list(models), kernel="batched")
+        assert [r.stats for r in batch] == [r.stats for r in oracle]
+
+    def test_empty_trace(self, models):
+        for kernel in KERNEL_NAMES:
+            for result in simulate_many([], list(models), kernel=kernel):
+                assert result.stats.instructions == 0
+                assert math.isnan(result.cpi)
+
+    def test_empty_config_list(self, counting_trace):
+        assert simulate_many(counting_trace, [], kernel="batched") == []
+
+
+class TestTelemetryRefusal:
+    def test_active_bus_refused_naming_the_field(self, counting_trace, models):
+        class Sink:
+            def record(self, event):
+                pass
+
+        bus = EventBus(Sink())
+        with pytest.raises(KernelError, match="telemetry"):
+            BatchedKernel().simulate_many(
+                counting_trace, [models[1]], telemetry=bus
+            )
+
+    def test_sinkless_bus_is_telemetry_off(self, counting_trace, models):
+        # A bus with no sinks is falsy — same normalisation as the
+        # scalar loop — so the batched kernel accepts it.
+        results = BatchedKernel().simulate_many(
+            counting_trace, [models[1]], telemetry=EventBus()
+        )
+        assert results[0].stats.instructions == len(counting_trace)
+
+
+class TestSelection:
+    def test_default_is_scalar(self):
+        assert kernel_mode({}) == KERNEL_NAMES[0] == "scalar"
+
+    def test_env_selects_batched_case_insensitive(self):
+        assert kernel_mode({ENV_KERNEL: "BATCHED"}) == "batched"
+
+    def test_bad_env_value_names_the_variable(self):
+        with pytest.raises(KernelError, match=ENV_KERNEL):
+            kernel_mode({ENV_KERNEL: "vectorised"})
+
+    def test_get_kernel_by_name(self):
+        assert isinstance(get_kernel("scalar"), ScalarKernel)
+        assert isinstance(get_kernel("batched"), BatchedKernel)
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            get_kernel("simd")
+
+    def test_get_kernel_follows_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "batched")
+        assert isinstance(get_kernel(), BatchedKernel)
+        monkeypatch.delenv(ENV_KERNEL)
+        assert isinstance(get_kernel(), ScalarKernel)
+
+    def test_validate_environment_rejects_bad_kernel(self, monkeypatch):
+        from repro.robustness.validation import (
+            EnvValidationError,
+            validate_environment,
+        )
+
+        monkeypatch.setenv(ENV_KERNEL, "vectorised")
+        with pytest.raises(EnvValidationError, match=ENV_KERNEL):
+            validate_environment()
+
+
+class TestAccounting:
+    def test_batch_snapshot_counts_calls_and_configs(
+        self, counting_trace, models
+    ):
+        calls, configs = batch_snapshot()
+        simulate_many(counting_trace, list(models), kernel="batched")
+        assert batch_snapshot() == (calls + 1, configs + 3)
+
+    def test_scalar_kernel_does_not_count(self, counting_trace, models):
+        before = batch_snapshot()
+        simulate_many(counting_trace, list(models), kernel="scalar")
+        assert batch_snapshot() == before
+
+    def test_simulate_batch_span(self, counting_trace, models):
+        tracer = tracing.SpanTracer()
+        with tracing.use_tracer(tracer):
+            simulate_many(counting_trace, list(models), kernel="batched")
+        spans = [
+            record
+            for record in tracer.finished_records()
+            if record["name"] == "simulate_batch"
+        ]
+        assert len(spans) == 1
+        fields = spans[0]["args"]
+        assert fields["records"] == len(counting_trace)
+        assert fields["configs"] == 3
+        assert fields["kernel"] == "batched"

@@ -170,6 +170,61 @@ class TestTraceValidation:
         assert corrupt_trace(small_trace, seed=3) != list(small_trace)
 
 
+class TestPreparedValidationMemo:
+    """The vectorized prepared-trace pass runs once per trace object."""
+
+    @staticmethod
+    def _fresh_prepared(small_trace):
+        from repro.func.prepared import prepare_trace
+
+        records = (
+            small_trace.to_records()
+            if hasattr(small_trace, "to_records")
+            else list(small_trace)
+        )
+        return prepare_trace(records, workload="espresso")
+
+    def test_revalidation_hits_the_memo(self, small_trace):
+        from repro.robustness.validation import validation_snapshot
+
+        prepared = self._fresh_prepared(small_trace)
+        assert not prepared.validated
+        passes, hits = validation_snapshot()
+        validate_trace(prepared)
+        assert prepared.validated
+        assert validation_snapshot() == (passes + 1, hits)
+        # A sweep re-validating the shared trace per config pays nothing:
+        # no second vectorized pass, only memo hits.
+        validate_trace(prepared)
+        validate_trace(prepared)
+        assert validation_snapshot() == (passes + 1, hits + 2)
+
+    def test_memo_keyed_per_instance(self, small_trace):
+        from repro.robustness.validation import validation_snapshot
+
+        first = self._fresh_prepared(small_trace)
+        second = self._fresh_prepared(small_trace)
+        validate_trace(first)
+        passes, hits = validation_snapshot()
+        # A different PreparedTrace over the same records is a different
+        # memo entry: it gets its own (single) vectorized pass.
+        validate_trace(second)
+        assert validation_snapshot() == (passes + 1, hits)
+
+    def test_memo_does_not_pin_the_trace(self, small_trace):
+        import gc
+        import weakref
+
+        prepared = self._fresh_prepared(small_trace)
+        validate_trace(prepared)
+        ref = weakref.ref(prepared)
+        del prepared
+        gc.collect()
+        assert ref() is None, (
+            "validation memo kept a shared PreparedTrace alive"
+        )
+
+
 class TestFactorAndScaleValidation:
     @pytest.mark.parametrize("factor", [0, -1, -0.5, float("nan"), float("inf")])
     def test_bad_factors(self, factor):

@@ -558,7 +558,7 @@ class TestProfiling:
         # Representation changes wall time only, never simulation output.
         assert prepared.sim_cycles == tuples.sim_cycles
         assert prepared.instructions == tuples.instructions
-        assert "[tuples trace path]" in tuples.render()
+        assert "[tuples trace path, scalar kernel]" in tuples.render()
 
     def test_trace_path_validated(self):
         with pytest.raises(ValueError, match="trace_path"):
