@@ -12,7 +12,7 @@ backpressure and waits on FPU results, which only occur in FP codes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 
 
@@ -123,6 +123,80 @@ class SimStats:
         if not self.instructions:
             return 0.0
         return 2 * self.dual_issued_pairs / self.instructions
+
+    # -------------------------------------------------------- round-trip
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping with a *stable* field order.
+
+        Fields appear in dataclass-definition order and stall cycles in
+        :class:`StallKind` enum order, so two equal stats objects always
+        serialize to byte-identical JSON — the serve memo store leans on
+        that to compare a memoized response against a fresh simulation.
+        """
+        data: dict = {}
+        for spec in fields(self):
+            if spec.name == "stall_cycles":
+                data["stall_cycles"] = {
+                    kind.value: int(self.stall_cycles.get(kind, 0))
+                    for kind in StallKind
+                }
+            else:
+                data[spec.name] = getattr(self, spec.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SimStats":
+        """Rebuild a :class:`SimStats` from :meth:`to_dict` output.
+
+        Raises :class:`ValueError` naming the problem for anything that
+        is not a faithful round-trip image (missing fields, unknown
+        fields or stall kinds, non-integer counts) — the memo store
+        treats that as a corrupt entry and recomputes.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"SimStats payload must be an object, "
+                f"got {type(data).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown SimStats fields: {', '.join(unknown)}")
+        kwargs: dict = {}
+        for spec in fields(cls):
+            if spec.name not in data:
+                raise ValueError(f"missing SimStats field {spec.name!r}")
+            value = data[spec.name]
+            if spec.name == "stall_cycles":
+                if not isinstance(value, dict):
+                    raise ValueError(
+                        f"stall_cycles must be an object, "
+                        f"got {type(value).__name__}"
+                    )
+                stalls = {kind: 0 for kind in StallKind}
+                for raw_kind, cycles in value.items():
+                    try:
+                        kind = StallKind(raw_kind)
+                    except ValueError:
+                        raise ValueError(
+                            f"unknown stall kind {raw_kind!r}"
+                        ) from None
+                    if not isinstance(cycles, int) or isinstance(cycles, bool):
+                        raise ValueError(
+                            f"stall_cycles[{raw_kind!r}] must be an int, "
+                            f"got {cycles!r}"
+                        )
+                    stalls[kind] = cycles
+                kwargs["stall_cycles"] = stalls
+            else:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ValueError(
+                        f"SimStats field {spec.name!r} must be an int, "
+                        f"got {value!r}"
+                    )
+                kwargs[spec.name] = value
+        return cls(**kwargs)
 
     def stall_cpi(self, kind: StallKind) -> float:
         """Stall cycles per instruction for one category (Figure 6 bars)."""

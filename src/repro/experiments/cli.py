@@ -11,6 +11,10 @@ Subcommands::
     aurora-sim spans <sweep-trace.json> [--min-ms 0.1]
     aurora-sim perf <workload> [--factor 0.05] [--check] [--seed-baseline]
                     [--trace-path prepared|tuples] [--kernel scalar|batched]
+    aurora-sim serve [--host 127.0.0.1] [--port 8311] [--jobs 2]
+                     [--window 0.01] [--store results/.sim_memo]
+    aurora-sim loadgen --url http://127.0.0.1:8311 [--queries q.jsonl]
+                       [--concurrency 8] [--requests 64] [--record out.jsonl]
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
 
@@ -246,6 +250,88 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return EXIT_PERF_REGRESSION if check.regressed else EXIT_OK
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived design-space query service (docs/SERVING.md).
+
+    Exits 0 when stopped programmatically, 5 after a graceful
+    SIGINT/SIGTERM drain (the PR 6 contract, shared with 'experiments'
+    through robustness/signals.py); a second signal aborts hard through
+    the generic KeyboardInterrupt path below.
+    """
+    from repro.serve.server import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        window=args.window,
+        kernel=args.kernel,
+        store_root=args.store,
+        trace_out=args.trace,
+    )
+    return serve_forever(config)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a live serve endpoint and report p50/p99/throughput."""
+    from repro.serve.loadgen import (
+        LoadError,
+        load_queries,
+        run_load,
+        synthetic_queries,
+        write_queries,
+    )
+    from repro.telemetry.baseline import BaselineError, PerfHistory, git_sha
+
+    try:
+        if args.queries:
+            queries = load_queries(args.queries)
+        else:
+            queries = synthetic_queries(
+                seed=args.seed,
+                factor=args.factor,
+                count=args.count,
+            )
+        if args.record:
+            path = write_queries(args.record, queries)
+            print(f"recorded {len(queries)} queries -> {path}")
+            if not args.url:
+                return EXIT_OK
+        if not args.url:
+            raise LoadError("--url is required to drive a server")
+        report = run_load(
+            args.url,
+            queries,
+            concurrency=args.concurrency,
+            requests=args.requests,
+            duration=args.duration,
+        )
+    except LoadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"target:   {args.url}")
+    print(f"queries:  {len(queries)} ({'recorded' if args.queries else 'synthetic'})")
+    print(f"workers:  {args.concurrency}")
+    print(report.render())
+    if args.history:
+        import time as _time
+
+        record = report.as_perf_record(
+            git_sha=git_sha(),
+            recorded_at=_time.time(),
+            workload=args.series_workload,
+            factor=args.factor,
+        )
+        history = PerfHistory(args.history)
+        try:
+            history.append(record)
+        except BaselineError as error:
+            print(f"perf history: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"perf history: {history.path} (serve-mode record appended)")
+    return EXIT_ERROR if report.errors else EXIT_OK
+
+
 def cmd_cost(args: argparse.Namespace) -> int:
     config = _configure(args)
     print(ipu_cost(config).render(f"IPU cost: {config.label}"))
@@ -380,6 +466,65 @@ def main(argv: list[str] | None = None) -> int:
                              "REPRO_SIM_KERNEL)")
     _add_machine_args(p_perf)
     p_perf.set_defaults(func=cmd_perf)
+
+    p_serve = sub.add_parser(
+        "serve", help="batched design-space query service (long-lived)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8311,
+                         help="listen port (0 = ephemeral; the bound "
+                              "port is announced on stdout)")
+    p_serve.add_argument("--jobs", type=positive_int, default=1,
+                         help="simulation workers (1 = in-process "
+                              "thread, >1 = process pool over the "
+                              "shared trace cache)")
+    p_serve.add_argument("--window", type=positive_float, default=0.010,
+                         help="batching window in seconds: queries "
+                              "arriving within it coalesce into one "
+                              "simulate_many dispatch")
+    p_serve.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                         help="simulation kernel for batch dispatches "
+                              "(default follows REPRO_SIM_KERNEL)")
+    p_serve.add_argument("--store", default="results/.sim_memo",
+                         help="persistent SimStats memo-store root")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="export request spans as Chrome trace-"
+                              "event JSON on shutdown (see 'spans')")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a live serve endpoint; report p50/p99"
+    )
+    p_load.add_argument("--url", default=None,
+                        help="serve endpoint, e.g. http://127.0.0.1:8311")
+    p_load.add_argument("--queries", default=None, metavar="PATH",
+                        help="recorded query file (JSON lines); "
+                             "default: seeded synthetic queries over "
+                             "the Figure 8 grid")
+    p_load.add_argument("--record", default=None, metavar="PATH",
+                        help="write the query stream to PATH (replayable "
+                             "with --queries); without --url, record "
+                             "only and exit")
+    p_load.add_argument("--concurrency", type=positive_int, default=4,
+                        help="closed-loop client threads")
+    p_load.add_argument("--requests", type=positive_int, default=None,
+                        help="total requests to issue (default: one "
+                             "pass over the query list)")
+    p_load.add_argument("--duration", type=positive_float, default=None,
+                        help="run for this many seconds instead of a "
+                             "fixed request count")
+    p_load.add_argument("--seed", type=nonneg_int, default=0,
+                        help="synthetic-generator seed")
+    p_load.add_argument("--count", type=positive_int, default=64,
+                        help="synthetic queries to generate")
+    p_load.add_argument("--factor", type=positive_float, default=0.05,
+                        help="workload scale factor for synthetic queries")
+    p_load.add_argument("--history", default=None, metavar="PATH",
+                        help="append a serve-mode record to this "
+                             "BENCH_history.json")
+    p_load.add_argument("--series-workload", default="mixed",
+                        help="workload label for the history record")
+    p_load.set_defaults(func=cmd_loadgen)
 
     p_cost = sub.add_parser("cost", help="RBE cost of a configuration")
     _add_machine_args(p_cost)

@@ -89,6 +89,7 @@ from typing import Callable, Mapping
 from repro.core.kernel import batch_snapshot, kernel_mode
 from repro.func.prepared import prepare_snapshot
 from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
+from repro.robustness.signals import GracefulSignals
 from repro.telemetry import tracing
 from repro.telemetry.metrics import MetricsRegistry, publish_stats
 from repro.telemetry.tracing import SpanTracer
@@ -719,14 +720,8 @@ class ResilientRunner:
                 )
 
         tracer = self.tracer
-        interrupt: dict[str, str | None] = {"signal": None}
 
-        def _on_signal(signum, _frame) -> None:
-            name = signal.Signals(signum).name
-            if interrupt["signal"] is not None:
-                # Second signal: the user means it — abort hard.
-                raise KeyboardInterrupt(name)
-            interrupt["signal"] = name
+        def _warn_interrupt(name: str) -> None:
             if stream is not None:
                 print(
                     f"warning: received {name}; stopping after in-flight "
@@ -735,18 +730,9 @@ class ResilientRunner:
                     file=stream,
                 )
 
-        def should_stop() -> bool:
-            return interrupt["signal"] is not None
-
-        previous_handlers: list[tuple[int, object]] = []
-        if threading.current_thread() is threading.main_thread():
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                try:
-                    previous_handlers.append(
-                        (signum, signal.signal(signum, _on_signal))
-                    )
-                except (ValueError, OSError):
-                    pass
+        interrupt = GracefulSignals(notify=_warn_interrupt)
+        should_stop = interrupt.should_stop
+        interrupt.install()
         try:
             if todo:
                 if self.jobs == 1:
@@ -785,19 +771,18 @@ class ResilientRunner:
                         should_stop=should_stop,
                     )
         finally:
-            for signum, handler in previous_handlers:
-                signal.signal(signum, handler)
+            interrupt.restore()
 
         # Graceful shutdown: every selected experiment still gets an
         # outcome, so the report is complete (explicitly partial).
-        if interrupt["signal"] is not None:
+        if interrupt.signal is not None:
             for exp_id, _fn in selected:
                 if exp_id not in outcomes:
                     outcomes[exp_id] = ExperimentOutcome(
                         exp_id,
                         "interrupted",
                         error=(
-                            f"sweep interrupted by {interrupt['signal']} "
+                            f"sweep interrupted by {interrupt.signal} "
                             "before this experiment finished"
                         ),
                     )
@@ -840,7 +825,7 @@ class ResilientRunner:
         report = RunReport(
             outcomes=[outcomes[e] for e, _fn in selected],
             metrics=registry,
-            interrupted=interrupt["signal"],
+            interrupted=interrupt.signal,
         )
         if stream is not None:
             print(report.render(), file=stream)

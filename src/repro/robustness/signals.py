@@ -1,0 +1,96 @@
+"""Graceful SIGINT/SIGTERM handling shared by every long-running mode.
+
+The PR 6 contract, now in one place instead of inlined per caller: the
+first SIGINT or SIGTERM requests a *graceful* stop (finish in-flight
+work, flush persistent state, exit with code 5 per
+:mod:`repro.experiments.exit_codes`); a second signal means the operator
+is done waiting and aborts hard by raising :class:`KeyboardInterrupt`
+from the handler.  Both the sweep runner
+(:class:`repro.robustness.runner.ResilientRunner`) and the long-lived
+query service (``aurora-sim serve``) install the same
+:class:`GracefulSignals` object, so the two modes cannot drift apart in
+how they answer an operator's Ctrl-C.
+
+Handlers are only installed on the main thread (signal delivery is a
+main-thread affair in CPython); elsewhere :meth:`GracefulSignals.install`
+is a no-op and ``should_stop`` simply never trips, which is exactly what
+a runner nested inside another program's worker thread wants.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable
+
+#: The signals that request a graceful stop.
+GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class GracefulSignals:
+    """First SIGINT/SIGTERM sets a flag, second aborts hard.
+
+    ``notify`` (optional) is called with the signal name from the
+    handler on the *first* signal — callers use it to print a warning
+    (the runner) or to wake an event loop (the server).  It runs in
+    signal-handler context: keep it tiny and reentrant-safe.
+
+    Use as a context manager, or call :meth:`install` / :meth:`restore`
+    explicitly.  Installation is idempotent per instance and safe off
+    the main thread (it silently does nothing there).
+    """
+
+    def __init__(self, notify: Callable[[str], None] | None = None) -> None:
+        self._notify = notify
+        self._previous: list[tuple[int, object]] = []
+        #: Name of the first graceful signal received ("SIGINT" /
+        #: "SIGTERM"), or None while the process has not been asked to
+        #: stop.  Matches RunReport.interrupted's vocabulary.
+        self.signal: str | None = None
+
+    # ------------------------------------------------------------ handler
+
+    def _on_signal(self, signum, _frame) -> None:
+        name = signal.Signals(signum).name
+        if self.signal is not None:
+            # Second signal: the user means it — abort hard.
+            raise KeyboardInterrupt(name)
+        self.signal = name
+        if self._notify is not None:
+            self._notify(name)
+
+    def should_stop(self) -> bool:
+        """True once the first graceful signal has arrived."""
+        return self.signal is not None
+
+    # ------------------------------------------------------ install/restore
+
+    def install(self) -> "GracefulSignals":
+        """Install the handlers (main thread only; no-op elsewhere)."""
+        if self._previous:
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in GRACEFUL_SIGNALS:
+            try:
+                self._previous.append(
+                    (signum, signal.signal(signum, self._on_signal))
+                )
+            except (ValueError, OSError):
+                pass
+        return self
+
+    def restore(self) -> None:
+        """Put back whatever handlers were installed before us."""
+        for signum, handler in self._previous:
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError, TypeError):
+                pass
+        self._previous.clear()
+
+    def __enter__(self) -> "GracefulSignals":
+        return self.install()
+
+    def __exit__(self, *_exc) -> None:
+        self.restore()

@@ -185,6 +185,7 @@ def validate_environment(environ: Mapping[str, str] | None = None) -> None:
     """Eagerly validate the ``REPRO_*`` switches the sweep stack reads.
 
     Checked: ``REPRO_TRACE_PATH`` (trace representation),
+    ``REPRO_TRACE_MEMO_MAX`` (in-memory trace-memo bound),
     ``REPRO_SIM_KERNEL`` (simulation kernel), ``REPRO_TRACE_CACHE`` /
     ``REPRO_TRACE_CACHE_VERIFY`` (on/off switches) and
     ``REPRO_TRACE_CACHE_DIR`` (must not name an existing
@@ -203,6 +204,11 @@ def validate_environment(environ: Mapping[str, str] | None = None) -> None:
             f"{registry.ENV_TRACE_PATH}={trace_path!r}: "
             "expected 'prepared' or 'tuples'"
         )
+
+    try:
+        registry.trace_memo_max(env)
+    except ValueError as error:
+        problems.append(str(error))
 
     try:
         kernel_mode(env)

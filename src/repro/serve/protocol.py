@@ -1,0 +1,219 @@
+"""Serve wire format: JSON queries in, JSON stats out.
+
+One query asks for one simulation::
+
+    {"workload": "espresso",
+     "factor": 0.05,
+     "config": {"model": "baseline", "issue_width": 1}}
+
+``config`` is either a model shorthand (``model`` plus any field
+overrides) or a complete field-for-field :class:`MachineConfig`
+specification as produced by :func:`config_to_spec`.  The nested FPU
+block uses the same convention (``issue_policy`` travels as its enum
+value string).  Round-trips are exact: ``config_from_spec(
+config_to_spec(c)) == c`` for every valid configuration, which is what
+lets the server dedup queries by
+:func:`~repro.robustness.guards.config_fingerprint`.
+
+Validation is eager and field-named, reusing the same machinery the CLI
+and the sweep stack already trust: factors go through
+:func:`repro.robustness.validation.validate_factor`, configurations
+through :meth:`MachineConfig.validate`, and unknown workloads raise
+:class:`~repro.workloads.registry.WorkloadError` so the server can
+answer with the very same kernel-list message ``aurora-sim`` prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.config import (
+    BASELINE,
+    LARGE,
+    RECOMMENDED,
+    SMALL,
+    ConfigError,
+    FPIssuePolicy,
+    FPUConfig,
+    MachineConfig,
+)
+from repro.robustness.guards import config_fingerprint
+from repro.robustness.validation import validate_factor
+from repro.workloads.registry import all_specs, get_spec
+
+#: Model shorthands accepted in a query's ``config.model`` field —
+#: the same names the CLI's ``--model`` flag takes.
+MODELS: dict[str, MachineConfig] = {
+    "small": SMALL,
+    "baseline": BASELINE,
+    "large": LARGE,
+    "recommended": RECOMMENDED,
+}
+
+
+class QueryError(ValueError):
+    """A query payload is invalid; the message names the field."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """One validated design-space query."""
+
+    workload: str
+    factor: float
+    config: MachineConfig
+    fingerprint: str
+
+    @property
+    def group(self) -> tuple[str, float]:
+        """The batching key: queries for one (workload, factor) pair
+        share a trace and can be answered by one ``simulate_many``."""
+        return (self.workload, self.factor)
+
+
+def workload_error_text(error: KeyError) -> str:
+    """The CLI's unknown-workload message, verbatim.
+
+    ``aurora-sim`` prints ``error: <msg>`` followed by the registered
+    kernel list; the server returns the identical text in its 400 body
+    so the two front ends can never drift apart.
+    """
+    lines = [f"error: {error.args[0]}", "valid kernels:"]
+    for spec in all_specs():
+        lines.append(f"  {spec.name:<10} [{spec.suite}]")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ config wire
+
+
+def config_to_spec(config: MachineConfig) -> dict:
+    """Full-field JSON specification of one machine configuration."""
+    spec: dict = {}
+    for field in dataclasses.fields(MachineConfig):
+        value = getattr(config, field.name)
+        if field.name == "fpu":
+            fpu: dict = {}
+            for fpu_field in dataclasses.fields(FPUConfig):
+                fpu_value = getattr(value, fpu_field.name)
+                if fpu_field.name == "issue_policy":
+                    fpu_value = fpu_value.value
+                fpu[fpu_field.name] = fpu_value
+            spec["fpu"] = fpu
+        else:
+            spec[field.name] = value
+    return spec
+
+
+def _fpu_from_spec(spec: object, *, where: str = "config.fpu") -> FPUConfig:
+    if not isinstance(spec, dict):
+        raise QueryError(
+            f"{where} must be an object, got {type(spec).__name__}"
+        )
+    known = {field.name for field in dataclasses.fields(FPUConfig)}
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise QueryError(f"{where}: unknown fields: {', '.join(unknown)}")
+    kwargs = dict(spec)
+    if "issue_policy" in kwargs:
+        raw = kwargs["issue_policy"]
+        try:
+            kwargs["issue_policy"] = FPIssuePolicy(raw)
+        except ValueError:
+            allowed = "/".join(policy.value for policy in FPIssuePolicy)
+            raise QueryError(
+                f"{where}.issue_policy must be one of {allowed}, "
+                f"got {raw!r}"
+            ) from None
+    try:
+        return FPUConfig(**kwargs)
+    except ConfigError as error:
+        raise QueryError(f"{where}: {error}") from None
+    except TypeError as error:
+        raise QueryError(f"{where}: {error}") from None
+
+
+def config_from_spec(spec: object, *, where: str = "config") -> MachineConfig:
+    """Build a validated :class:`MachineConfig` from a query's spec.
+
+    Accepts either a ``model`` shorthand plus overrides or a complete
+    field set.  Every construction problem surfaces as a
+    :class:`QueryError` whose message names the offending field(s) —
+    :meth:`MachineConfig.validate` already collects them all.
+    """
+    if not isinstance(spec, dict):
+        raise QueryError(
+            f"{where} must be an object, got {type(spec).__name__}"
+        )
+    spec = dict(spec)
+    base: MachineConfig | None = None
+    model = spec.pop("model", None)
+    if model is not None:
+        if not isinstance(model, str) or model not in MODELS:
+            raise QueryError(
+                f"{where}.model must be one of "
+                f"{'/'.join(sorted(MODELS))}, got {model!r}"
+            )
+        base = MODELS[model]
+    known = {field.name for field in dataclasses.fields(MachineConfig)}
+    unknown = sorted(set(spec) - known)
+    if unknown:
+        raise QueryError(f"{where}: unknown fields: {', '.join(unknown)}")
+    if "fpu" in spec:
+        spec["fpu"] = _fpu_from_spec(spec["fpu"], where=f"{where}.fpu")
+    try:
+        if base is not None:
+            return base.with_(**spec) if spec else base
+        return MachineConfig(**spec)
+    except ConfigError as error:
+        raise QueryError(f"{where}: {error}") from None
+    except TypeError as error:
+        raise QueryError(f"{where}: {error}") from None
+
+
+# ------------------------------------------------------------- query wire
+
+
+def parse_query(payload: object) -> Query:
+    """Validate one JSON query payload into a :class:`Query`.
+
+    Raises :class:`QueryError` (field-named, -> HTTP 400) for malformed
+    payloads and :class:`~repro.workloads.registry.WorkloadError` for
+    unknown workloads (-> HTTP 400 with the CLI's kernel list).
+    """
+    if not isinstance(payload, dict):
+        raise QueryError(
+            f"query must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - {"workload", "factor", "config"})
+    if unknown:
+        raise QueryError(f"query: unknown fields: {', '.join(unknown)}")
+    if "workload" not in payload:
+        raise QueryError("query: missing field 'workload'")
+    workload = payload["workload"]
+    if not isinstance(workload, str) or not workload:
+        raise QueryError(
+            f"workload must be a non-empty string, got {workload!r}"
+        )
+    get_spec(workload)  # raises WorkloadError for unknown names
+    try:
+        factor = validate_factor(payload.get("factor", 1.0), where="factor")
+    except ValueError as error:
+        raise QueryError(str(error)) from None
+    config = config_from_spec(payload.get("config", {"model": "baseline"}))
+    return Query(
+        workload=workload,
+        factor=factor,
+        config=config,
+        fingerprint=config_fingerprint(config),
+    )
+
+
+def query_to_payload(query: Query) -> dict:
+    """The JSON payload that parses back to ``query`` (loadgen records)."""
+    return {
+        "workload": query.workload,
+        "factor": query.factor,
+        "config": config_to_spec(query.config),
+    }

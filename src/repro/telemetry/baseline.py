@@ -22,14 +22,16 @@ Document format (``version`` 1)::
 
 Comparisons are only meaningful between like runs, so ``compare``
 refuses to judge a record against a baseline with a different
-``(workload, factor, config, trace_path, kernel)`` key — a changed
-sweep is a new series, not a regression.  Two fields are optional for
-compatibility with records written before they existed: ``trace_path``
-("prepared" | "tuples", which trace representation the simulator
-consumed; absent means "tuples", the only path that existed then) and
-``kernel`` ("scalar" | "batched", which simulation kernel ran; absent
-means "scalar" — every record predating the batched kernel came from
-the scalar loop, so old records still compare against scalar runs).
+``(workload, factor, config, trace_path, kernel, mode)`` key — a
+changed sweep is a new series, not a regression.  Several fields are
+optional for compatibility with records written before they existed:
+``trace_path`` ("prepared" | "tuples", which trace representation the
+simulator consumed; absent means "tuples", the only path that existed
+then), ``kernel`` ("scalar" | "batched", which simulation kernel ran;
+absent means "scalar"), and ``mode`` ("simulate" | "serve"; absent
+means "simulate" — serve-mode records come from ``aurora-sim
+loadgen`` driving the live query service and additionally carry
+``requests_per_second`` / ``latency_p50_ms`` / ``latency_p99_ms``).
 """
 
 from __future__ import annotations
@@ -68,6 +70,10 @@ _SCHEMA: dict[str, tuple[type, ...]] = {
 _OPTIONAL_SCHEMA: dict[str, tuple[tuple[type, ...], tuple | None]] = {
     "trace_path": ((str,), ("prepared", "tuples")),
     "kernel": ((str,), ("scalar", "batched")),
+    "mode": ((str,), ("simulate", "serve")),
+    "requests_per_second": ((int, float), None),
+    "latency_p50_ms": ((int, float), None),
+    "latency_p99_ms": ((int, float), None),
 }
 
 #: What an absent ``trace_path`` means: every record written before the
@@ -76,9 +82,16 @@ LEGACY_TRACE_PATH = "tuples"
 #: What an absent ``kernel`` means: every record written before the
 #: field existed came from the scalar timing loop.
 LEGACY_KERNEL = "scalar"
+#: What an absent ``mode`` means: every record written before the serve
+#: front end existed measured the simulator directly.
+LEGACY_MODE = "simulate"
 
 #: Series-key fields whose absence has a defined legacy meaning.
-_LEGACY_DEFAULTS = {"trace_path": LEGACY_TRACE_PATH, "kernel": LEGACY_KERNEL}
+_LEGACY_DEFAULTS = {
+    "trace_path": LEGACY_TRACE_PATH,
+    "kernel": LEGACY_KERNEL,
+    "mode": LEGACY_MODE,
+}
 
 
 class BaselineError(ValueError):
@@ -125,6 +138,10 @@ def validate_record(payload: object, *, where: str = "record") -> dict:
             raise BaselineError(
                 f"{where}: field {name!r} must be one of "
                 f"{'/'.join(map(str, allowed))}, got {value!r}"
+            )
+        if allowed is None and value < 0:
+            raise BaselineError(
+                f"{where}: field {name!r} must be >= 0, got {value!r}"
             )
     return dict(payload)
 
@@ -266,10 +283,11 @@ class PerfHistory:
 
         Raises :class:`BaselineError` when no baseline is stored or when
         the baseline belongs to a different (workload, factor, config,
-        trace_path, kernel) series — in particular, a prepared-path run
-        is never judged against a tuple-path baseline, nor a batched-
-        kernel run against a scalar one (or vice versa): those series
-        have different throughput by design.
+        trace_path, kernel, mode) series — in particular, a prepared-
+        path run is never judged against a tuple-path baseline, nor a
+        batched-kernel run against a scalar one, nor a serve-mode load
+        run against a simulate-mode profile (or vice versa): those
+        series have different throughput by design.
         """
         if not 0 < threshold < 1:
             raise BaselineError(
@@ -282,7 +300,9 @@ class PerfHistory:
                 f"{self.path}: no baseline stored — seed one with "
                 "'aurora-sim perf --seed-baseline' first"
             )
-        for key in ("workload", "factor", "config", "trace_path", "kernel"):
+        for key in (
+            "workload", "factor", "config", "trace_path", "kernel", "mode",
+        ):
             legacy = _LEGACY_DEFAULTS.get(key)
             mine = record.get(key, legacy)
             theirs = baseline.get(key, legacy)

@@ -21,6 +21,7 @@ CI uses it to byte-diff whole experiment sweeps across the two paths.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
@@ -58,15 +59,62 @@ class WorkloadSpec:
 
 
 _REGISTRY: dict[str, WorkloadSpec] = {}
-#: (name, scale, representation) -> trace.  The representation key keeps
-#: the prepared and tuple forms from shadowing each other when
-#: ``REPRO_TRACE_PATH`` flips mid-process (tests do this).
-_TRACE_CACHE: dict[
-    tuple[str, int, str], "PreparedTrace | list[TraceRecord]"
-] = {}
+#: (name, scale, representation) -> trace, LRU-ordered (least recently
+#: used first).  The representation key keeps the prepared and tuple
+#: forms from shadowing each other when ``REPRO_TRACE_PATH`` flips
+#: mid-process (tests do this).  The memo is *bounded*: sweep processes
+#: touch a handful of (name, scale) pairs and never noticed, but the
+#: long-lived ``aurora-sim serve`` workers would otherwise accumulate
+#: one multi-megabyte prepared trace per distinct query shape for the
+#: life of the process.  Evictions only drop the in-memory tier — the
+#: disk cache still answers the next ``get_trace`` with an mmap load.
+_TRACE_CACHE: "OrderedDict[tuple[str, int, str], PreparedTrace | list[TraceRecord]]" = (
+    OrderedDict()
+)
 
 #: Environment toggle: "prepared" (default) or "tuples".
 ENV_TRACE_PATH = "REPRO_TRACE_PATH"
+#: Environment override for the in-memory trace-memo bound.
+ENV_TRACE_MEMO_MAX = "REPRO_TRACE_MEMO_MAX"
+#: Default memo bound: generous for sweeps (the full 15-workload
+#: two-representation matrix fits), small enough that a serve worker
+#: answering diverse (workload, scale) queries stays bounded.
+DEFAULT_TRACE_MEMO_MAX = 32
+
+#: Process-wide memo accounting (mirrors validation_snapshot()):
+#: lookups answered from memory, lookups that had to go to disk/build,
+#: and entries dropped by the LRU bound.
+_MEMO_HITS = 0
+_MEMO_MISSES = 0
+_MEMO_EVICTIONS = 0
+
+
+def trace_memo_max(environ=None) -> int:
+    """The active trace-memo bound (``REPRO_TRACE_MEMO_MAX`` or default).
+
+    Raises :class:`ValueError` naming the variable for unusable values,
+    the same eager-validation contract as ``REPRO_TRACE_PATH``.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(ENV_TRACE_MEMO_MAX, "")
+    if not raw:
+        return DEFAULT_TRACE_MEMO_MAX
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_TRACE_MEMO_MAX}={raw!r}: expected a positive integer"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{ENV_TRACE_MEMO_MAX}={raw!r}: must be >= 1"
+        )
+    return value
+
+
+def memo_snapshot() -> tuple[int, int, int]:
+    """(memory hits, misses, LRU evictions) of the trace memo so far."""
+    return (_MEMO_HITS, _MEMO_MISSES, _MEMO_EVICTIONS)
 
 
 def trace_path_mode() -> str:
@@ -139,30 +187,39 @@ def get_trace(
     """
     from repro.telemetry import tracing
 
+    global _MEMO_HITS, _MEMO_MISSES, _MEMO_EVICTIONS
     spec = get_spec(name)
     effective = scale if scale is not None else spec.default_scale
     mode = trace_path_mode()
     key = (name, effective, mode)
     trace = _TRACE_CACHE.get(key)
-    if trace is None:
-        disk = trace_cache.default_cache()
+    if trace is not None:
+        _MEMO_HITS += 1
+        _TRACE_CACHE.move_to_end(key)
+        return trace
+    _MEMO_MISSES += 1
+    disk = trace_cache.default_cache()
+    with tracing.span(
+        "cache_lookup", "trace", workload=name, scale=effective
+    ) as lookup_span:
+        prepared = disk.load(name, effective)
+        if lookup_span is not None:
+            lookup_span.annotate(hit=prepared is not None)
+    if prepared is None:
         with tracing.span(
-            "cache_lookup", "trace", workload=name, scale=effective
-        ) as lookup_span:
-            prepared = disk.load(name, effective)
-            if lookup_span is not None:
-                lookup_span.annotate(hit=prepared is not None)
-        if prepared is None:
-            with tracing.span(
-                "trace_build", "trace", workload=name, scale=effective
-            ):
-                program = spec.builder(effective)
-                result = run_program(program, max_instructions=50_000_000)
-                records = result.trace
-                disk.store(name, effective, records)
-            prepared = prepare_trace(records, workload=name, source="build")
-        trace = prepared.to_records() if mode == "tuples" else prepared
-        _TRACE_CACHE[key] = trace
+            "trace_build", "trace", workload=name, scale=effective
+        ):
+            program = spec.builder(effective)
+            result = run_program(program, max_instructions=50_000_000)
+            records = result.trace
+            disk.store(name, effective, records)
+        prepared = prepare_trace(records, workload=name, source="build")
+    trace = prepared.to_records() if mode == "tuples" else prepared
+    _TRACE_CACHE[key] = trace
+    bound = trace_memo_max()
+    while len(_TRACE_CACHE) > bound:
+        _TRACE_CACHE.popitem(last=False)
+        _MEMO_EVICTIONS += 1
     return trace
 
 

@@ -62,6 +62,53 @@ class TestRegistry:
         assert first is second
 
 
+class TestTraceMemoLRU:
+    def test_bound_evicts_least_recently_used(self, monkeypatch):
+        from repro.workloads import registry
+
+        monkeypatch.setenv(registry.ENV_TRACE_MEMO_MAX, "2")
+        registry.clear_trace_cache()
+        evicted_before = registry.memo_snapshot()[2]
+        get_trace("sc", 8)
+        get_trace("sc", 10)
+        get_trace("sc", 8)  # refresh: scale 8 is now most recent
+        get_trace("sc", 12)  # third entry evicts the LRU (scale 10)
+        assert registry.memo_snapshot()[2] == evicted_before + 1
+        assert len(registry._TRACE_CACHE) == 2
+        keep = get_trace("sc", 8)
+        assert get_trace("sc", 8) is keep  # the refreshed entry survived
+
+    def test_counters_in_snapshot(self, monkeypatch):
+        from repro.workloads import registry
+
+        registry.clear_trace_cache()
+        hits_before, misses_before, _ = registry.memo_snapshot()
+        get_trace("sc", 8)
+        get_trace("sc", 8)
+        hits, misses, _ = registry.memo_snapshot()
+        assert hits == hits_before + 1
+        assert misses == misses_before + 1
+
+    def test_bad_env_value_is_named(self, monkeypatch):
+        from repro.workloads import registry
+
+        monkeypatch.setenv(registry.ENV_TRACE_MEMO_MAX, "zero")
+        with pytest.raises(ValueError, match="REPRO_TRACE_MEMO_MAX"):
+            registry.trace_memo_max()
+        monkeypatch.setenv(registry.ENV_TRACE_MEMO_MAX, "0")
+        with pytest.raises(ValueError, match="REPRO_TRACE_MEMO_MAX"):
+            registry.trace_memo_max()
+
+    def test_validate_environment_reports_bad_bound(self):
+        from repro.robustness.validation import (
+            EnvValidationError,
+            validate_environment,
+        )
+
+        with pytest.raises(EnvValidationError, match="REPRO_TRACE_MEMO_MAX"):
+            validate_environment({"REPRO_TRACE_MEMO_MAX": "-3"})
+
+
 @pytest.mark.parametrize("name", INTEGER_SUITE + FP_SUITE)
 class TestEveryKernel:
     def test_builds_and_halts(self, name):
