@@ -2,7 +2,7 @@
 
 The instrumented simulator cannot be compared against its own pre-probe
 source (that code is gone once the probes land), so the gate is
-operationalised as three in-repo checks on the same workload/config:
+operationalised as four in-repo checks on the same workload/config:
 
 1. **Cost** — a telemetry-off run (``telemetry=None``, every probe a
    single falsy check) must complete within 5% of the wall time of a
@@ -14,6 +14,10 @@ operationalised as three in-repo checks on the same workload/config:
 2. **Purity** — the off-run's SimStats must be identical to an
    instrumented run's (probes must never perturb timing).
 3. **Silence** — a sink-less bus must record zero events.
+4. **Disabled logging** — with no log destination configured, a
+   ``StructLogger`` call must be one module-global ``None`` check:
+   bounded at 2µs/call (≥10x headroom over the real cost) so a
+   regression that builds payloads before the check trips the gate.
 
 The on-vs-off ratio is also printed (not gated: capturing ~80k events
 per 40k instructions legitimately costs real time).
@@ -26,10 +30,13 @@ import time
 from repro.core.config import BASELINE
 from repro.core.processor import simulate_trace
 from repro.telemetry import EventBus, RingBufferSink
+from repro.telemetry import logging as structlog
 
 WORKLOAD = "compress"
 #: Off-run wall-clock budget relative to the interleaved reference median.
 OVERHEAD_LIMIT = 1.05
+#: Per-call budget for a StructLogger call with no destination configured.
+LOG_CALL_LIMIT = 2e-6
 ROUNDS = 5
 
 
@@ -87,3 +94,21 @@ def test_probes_off_within_5_percent(benchmark, factor):
     probe = RingBufferSink()
     silent.attach(probe)
     assert probe.recorded == 0
+
+    # 4. Disabled structured logging is one None check per call.
+    structlog.shutdown()
+    assert structlog.current_config() is None
+    log = structlog.get_logger("bench")
+    calls = 200_000
+    samples = []
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(calls):
+            log.warning("bench.disabled", index=0)
+        samples.append(time.perf_counter() - started)
+    per_call = min(samples) / calls
+    print(f"disabled structured-log call: {per_call * 1e9:.0f}ns")
+    assert per_call < LOG_CALL_LIMIT, (
+        f"disabled StructLogger call costs {per_call * 1e9:.0f}ns, "
+        f"over the {LOG_CALL_LIMIT * 1e9:.0f}ns budget"
+    )

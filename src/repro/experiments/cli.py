@@ -13,10 +13,18 @@ Subcommands::
                     [--trace-path prepared|tuples] [--kernel scalar|batched]
     aurora-sim serve [--host 127.0.0.1] [--port 8311] [--jobs 2]
                      [--window 0.01] [--store results/.sim_memo]
+                     [--sample-interval 1.0] [--ring-out ring.jsonl]
     aurora-sim loadgen --url http://127.0.0.1:8311 [--queries q.jsonl]
                        [--concurrency 8] [--requests 64] [--record out.jsonl]
+                       [--slo p99:0.5] [--slo error-rate:0.01]
+    aurora-sim top --url http://127.0.0.1:8311 [--interval 2] [--no-clear]
     aurora-sim cost [--model baseline] [--issue 2]
     aurora-sim list
+
+Structured JSON-lines logging is available on every subcommand via the
+global ``--log-file PATH`` / ``--log-level LEVEL`` flags (or the
+``REPRO_LOG`` / ``REPRO_LOG_LEVEL`` environment, validated eagerly);
+see docs/OBSERVABILITY.md.
 
 Exit codes are unified across subcommands (see
 :mod:`repro.experiments.exit_codes`): 0 success, 1 internal error,
@@ -24,7 +32,7 @@ Exit codes are unified across subcommands (see
 environment, ``perf --check`` without a stored baseline), 3 perf
 regression, 4 partial experiment results (some failed, the rest
 completed and checkpointed), 5 interrupted by SIGINT/SIGTERM after a
-graceful checkpoint flush.
+graceful checkpoint flush, 6 SLO violation (``loadgen --slo``).
 """
 
 from __future__ import annotations
@@ -48,11 +56,13 @@ from repro.experiments.exit_codes import (
     EXIT_INTERRUPTED,
     EXIT_OK,
     EXIT_PERF_REGRESSION,
+    EXIT_SLO_VIOLATION,
     EXIT_USAGE,
     sweep_exit_code,
 )
 from repro.experiments.run_all import nonneg_int, positive_float, positive_int
 from repro.robustness.validation import EnvValidationError, validate_environment
+from repro.telemetry import logging as structlog
 from repro.workloads.registry import WorkloadError, all_specs
 
 _MODELS = {
@@ -268,12 +278,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         store_root=args.store,
         trace_out=args.trace,
+        sample_interval=args.sample_interval,
+        ring_capacity=args.ring_capacity,
+        ring_out=args.ring_out,
     )
     return serve_forever(config)
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    """Drive a live serve endpoint and report p50/p99/throughput."""
+    """Drive a live serve endpoint and report p50/p99/throughput.
+
+    With ``--slo``, the declared objectives are evaluated over the
+    run's own time-series samples; any violation exits 6
+    (``EXIT_SLO_VIOLATION``) so CI can gate on service health.
+    """
     from repro.serve.loadgen import (
         LoadError,
         load_queries,
@@ -282,7 +300,13 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         write_queries,
     )
     from repro.telemetry.baseline import BaselineError, PerfHistory, git_sha
+    from repro.telemetry.slo import SLOError, parse_slo
 
+    try:
+        slos = [parse_slo(spec) for spec in args.slo or []]
+    except SLOError as error:
+        print(f"error: --slo: {error}", file=sys.stderr)
+        return EXIT_USAGE
     try:
         if args.queries:
             queries = load_queries(args.queries)
@@ -305,6 +329,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             requests=args.requests,
             duration=args.duration,
+            slos=slos,
+            sample_interval=args.sample_interval,
         )
     except LoadError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -329,7 +355,27 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             print(f"perf history: {error}", file=sys.stderr)
             return EXIT_ERROR
         print(f"perf history: {history.path} (serve-mode record appended)")
+    if report.slo_violated:
+        return EXIT_SLO_VIOLATION
     return EXIT_ERROR if report.errors else EXIT_OK
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running server's /metrics."""
+    from repro.serve.top import TopError, run_top
+
+    try:
+        return run_top(
+            args.url,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=False if args.no_clear else None,
+        )
+    except TopError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        return EXIT_OK  # ^C is how a dashboard session normally ends
 
 
 def cmd_cost(args: argparse.Namespace) -> int:
@@ -351,6 +397,14 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="aurora-sim", description=__doc__)
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="structured JSON-lines log destination "
+                             "(a path, or 'stderr'/'-'); overrides "
+                             "REPRO_LOG")
+    parser.add_argument("--log-level", choices=structlog.LEVELS,
+                        default=None,
+                        help="structured log level (default INFO; "
+                             "overrides REPRO_LOG_LEVEL)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="simulate one workload")
@@ -490,6 +544,18 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--trace", default=None, metavar="PATH",
                          help="export request spans as Chrome trace-"
                               "event JSON on shutdown (see 'spans')")
+    p_serve.add_argument("--sample-interval", type=float, default=1.0,
+                         dest="sample_interval",
+                         help="metrics time-series sampling interval "
+                              "in seconds (0 disables sampling and "
+                              "the /timeseries route)")
+    p_serve.add_argument("--ring-capacity", type=positive_int,
+                         default=2048, dest="ring_capacity",
+                         help="time-series ring capacity (samples)")
+    p_serve.add_argument("--ring-out", default=None, metavar="PATH",
+                         dest="ring_out",
+                         help="persist time-series samples to this "
+                              "JSONL file (reloaded on restart)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_load = sub.add_parser(
@@ -524,7 +590,32 @@ def main(argv: list[str] | None = None) -> int:
                              "BENCH_history.json")
     p_load.add_argument("--series-workload", default="mixed",
                         help="workload label for the history record")
+    p_load.add_argument("--slo", action="append", default=None,
+                        metavar="KIND:VALUE",
+                        help="declare an objective to evaluate after "
+                             "the run: p99:SECONDS, error-rate:FRAC, "
+                             "or availability:FRAC (repeatable; any "
+                             "violation exits 6)")
+    p_load.add_argument("--sample-interval", type=positive_float,
+                        default=0.25, dest="sample_interval",
+                        help="loadgen-side time-series sampling "
+                             "interval for --slo evaluation (seconds)")
     p_load.set_defaults(func=cmd_loadgen)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a serve endpoint"
+    )
+    p_top.add_argument("--url", required=True,
+                       help="serve endpoint, e.g. http://127.0.0.1:8311")
+    p_top.add_argument("--interval", type=positive_float, default=2.0,
+                       help="refresh interval in seconds")
+    p_top.add_argument("--iterations", type=positive_int, default=None,
+                       help="render this many frames then exit "
+                            "(default: run until ^C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="never emit the ANSI clear between frames "
+                            "(frames append; good for piping)")
+    p_top.set_defaults(func=cmd_top)
 
     p_cost = sub.add_parser("cost", help="RBE cost of a configuration")
     _add_machine_args(p_cost)
@@ -537,6 +628,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         validate_environment()
     except EnvValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        if args.log_file is not None:
+            structlog.configure(args.log_file, args.log_level or "INFO")
+        elif args.log_level is not None and os.environ.get(structlog.ENV_LOG):
+            structlog.configure(os.environ[structlog.ENV_LOG], args.log_level)
+        else:
+            structlog.configure_from_env()
+    except structlog.LogConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     try:
@@ -559,6 +660,10 @@ def main(argv: list[str] | None = None) -> int:
         # 128+SIGPIPE status a signal-killed process would have.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 128 + signal.SIGPIPE
+    finally:
+        # Back to zero-overhead-off: close the log file so embedding
+        # callers (tests drive main() in-process) stay hermetic.
+        structlog.shutdown()
 
 
 if __name__ == "__main__":

@@ -16,6 +16,9 @@ code  meaning
       and were checkpointed
 5     interrupted (SIGINT/SIGTERM): graceful shutdown, the
       checkpoint manifest was flushed; resume to continue
+6     SLO violation (``aurora-sim loadgen --slo``): the load
+      run completed, but at least one declared objective
+      burned its error budget in every evaluation window
 ====  =======================================================
 
 Codes 4 and 5 are deliberately distinct: "something broke" (4) wants a
@@ -35,6 +38,7 @@ EXIT_USAGE = 2
 EXIT_PERF_REGRESSION = 3
 EXIT_PARTIAL = 4
 EXIT_INTERRUPTED = 5
+EXIT_SLO_VIOLATION = 6
 
 
 def sweep_exit_code(report) -> int:

@@ -331,7 +331,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     from repro.robustness.chaos import ChaosError
+    from repro.telemetry import logging as structlog
 
+    try:
+        structlog.configure_from_env()
+    except structlog.LogConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     try:
         _results, report = run_resilient(
             factor=args.factor,
@@ -362,6 +368,8 @@ def main(argv: list[str] | None = None) -> int:
         # 128+SIGPIPE status a signal-killed process would have.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 128 + signal.SIGPIPE
+    finally:
+        structlog.shutdown()
     return sweep_exit_code(report)
 
 

@@ -269,6 +269,12 @@ class ChaosPlan:
                     v1 = plant_stale_v1(entry)
                     if v1 is not None:
                         applied.append(f"planted stale v1 {v1.name}")
+        if applied:
+            from repro.telemetry.logging import get_logger
+
+            log = get_logger("chaos")
+            for line in applied:
+                log.warning("chaos.injected", action=line)
         if stream is not None:
             for line in applied:
                 print(f"chaos: {line}", file=stream)

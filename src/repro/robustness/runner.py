@@ -91,9 +91,13 @@ from repro.func.prepared import prepare_snapshot
 from repro.robustness.faults import FaultPlan, TransientFault, _CorruptResult
 from repro.robustness.signals import GracefulSignals
 from repro.telemetry import tracing
+from repro.telemetry import logging as structlog
+from repro.telemetry.logging import get_logger
 from repro.telemetry.metrics import MetricsRegistry, publish_stats
 from repro.telemetry.tracing import SpanTracer
 from repro.workloads import trace_cache
+
+_log = get_logger("runner")
 
 MANIFEST_VERSION = 1
 #: Default manifest location (relative to ``out_dir`` when one is given).
@@ -258,12 +262,17 @@ def _pool_initializer(
     cache_max_entries: int,
     cache_verify: bool = True,
     chaos_plan=None,
+    log_destination: str | None = None,
+    log_level: str = "INFO",
 ) -> None:
     """Point the worker's process-wide trace cache at the parent's.
 
     When the sweep runs under a chaos plan the same (picklable, frozen)
     plan is activated in every worker, so injected filesystem faults
     replay identically no matter which process hits the fault site.
+    Structured logging propagates the same way: the parent forwards its
+    installed (destination, level) and workers append whole JSON lines
+    to the same file.
     """
     trace_cache.configure(
         cache_root,
@@ -275,6 +284,10 @@ def _pool_initializer(
         from repro.robustness import chaos
 
         chaos.activate(chaos_plan)
+    if log_destination is not None:
+        from repro.telemetry import logging as structlog
+
+        structlog.configure(log_destination, log_level)
 
 
 def _pool_worker(fn, factor: float, trace_id: str | None = None) -> dict:
@@ -581,6 +594,12 @@ class ResilientRunner:
             new_stem, _, new_code = keys[exp_id].rpartition("|code=")
             if old_stem == new_stem and old_code and old_code != new_code:
                 registry.counter("runner.checkpoints_invalidated").inc()
+                _log.warning(
+                    "runner.checkpoint_invalidated",
+                    experiment=exp_id,
+                    old_code=old_code,
+                    new_code=new_code,
+                )
                 if stream is not None:
                     print(
                         f"warning: {exp_id}: checkpoint invalidated "
@@ -722,6 +741,7 @@ class ResilientRunner:
         tracer = self.tracer
 
         def _warn_interrupt(name: str) -> None:
+            _log.warning("runner.interrupted", signal=name)
             if stream is not None:
                 print(
                     f"warning: received {name}; stopping after in-flight "
@@ -1075,12 +1095,15 @@ class ResilientRunner:
 
         cache = trace_cache.default_cache()
         ctx = multiprocessing.get_context(_start_method(self.mp_context))
+        log_config = structlog.current_config()
         initargs = (
             str(cache.root),
             cache.enabled,
             cache.max_entries,
             cache.verify,
             self.chaos_plan,
+            log_config[0] if log_config else None,
+            log_config[1] if log_config else "INFO",
         )
 
         def new_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
@@ -1438,22 +1461,37 @@ class ResilientRunner:
                 return entries, False
             torn = True
         if not bak.exists():
-            if torn and stream is not None:
-                print(
-                    f"warning: checkpoint manifest {path} is corrupt and "
-                    "no backup exists; starting fresh",
-                    file=stream,
+            if torn:
+                _log.warning(
+                    "manifest.corrupt", path=str(path), backup=False
                 )
+                if stream is not None:
+                    print(
+                        f"warning: checkpoint manifest {path} is corrupt "
+                        "and no backup exists; starting fresh",
+                        file=stream,
+                    )
             return {}, False
         entries = cls._parse_manifest(bak)
         if not entries:
-            if torn and stream is not None:
-                print(
-                    f"warning: checkpoint manifest {path} is corrupt and "
-                    f"its backup is unusable; starting fresh",
-                    file=stream,
+            if torn:
+                _log.warning(
+                    "manifest.corrupt", path=str(path), backup=True
                 )
+                if stream is not None:
+                    print(
+                        f"warning: checkpoint manifest {path} is corrupt "
+                        f"and its backup is unusable; starting fresh",
+                        file=stream,
+                    )
             return {}, False
+        _log.warning(
+            "manifest.salvaged",
+            path=str(path),
+            torn=torn,
+            entries=len(entries),
+            backup=bak.name,
+        )
         if stream is not None:
             cause = "is corrupt (torn write?)" if torn else "is missing"
             print(
@@ -1501,7 +1539,10 @@ class ResilientRunner:
                 if path.exists():
                     os.replace(path, path.with_suffix(path.suffix + ".bak"))
                 tmp.replace(path)
-            except OSError:
+            except OSError as error:
+                _log.warning(
+                    "manifest.degraded", path=str(path), why=str(error)
+                )
                 return False
         return True
 

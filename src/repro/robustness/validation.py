@@ -187,12 +187,14 @@ def validate_environment(environ: Mapping[str, str] | None = None) -> None:
     Checked: ``REPRO_TRACE_PATH`` (trace representation),
     ``REPRO_TRACE_MEMO_MAX`` (in-memory trace-memo bound),
     ``REPRO_SIM_KERNEL`` (simulation kernel), ``REPRO_TRACE_CACHE`` /
-    ``REPRO_TRACE_CACHE_VERIFY`` (on/off switches) and
+    ``REPRO_TRACE_CACHE_VERIFY`` (on/off switches),
     ``REPRO_TRACE_CACHE_DIR`` (must not name an existing
-    non-directory).  Unset or empty variables are always fine — they
-    mean "use the default".
+    non-directory), ``REPRO_LOG`` (a writable destination, not a
+    directory) and ``REPRO_LOG_LEVEL`` (a known level name).  Unset or
+    empty variables are always fine — they mean "use the default".
     """
     from repro.core.kernel import KernelError, kernel_mode
+    from repro.telemetry import logging as structlog
     from repro.workloads import registry, trace_cache
 
     env = os.environ if environ is None else environ
@@ -236,6 +238,28 @@ def validate_environment(environ: Mapping[str, str] | None = None) -> None:
             problems.append(
                 f"{trace_cache.ENV_DIR}={cache_dir!r}: exists but is "
                 "not a directory"
+            )
+
+    log_level = env.get(structlog.ENV_LOG_LEVEL, "")
+    if log_level and log_level.upper() not in structlog.LEVELS:
+        problems.append(
+            f"{structlog.ENV_LOG_LEVEL}={log_level!r}: expected one of "
+            f"{'/'.join(structlog.LEVELS)}"
+        )
+
+    log_dest = env.get(structlog.ENV_LOG)
+    if log_dest is not None:
+        if not log_dest.strip():
+            problems.append(
+                f"{structlog.ENV_LOG} is set but empty: unset it or "
+                "name a file (or 'stderr')"
+            )
+        elif log_dest not in structlog.STDERR_ALIASES and os.path.isdir(
+            log_dest
+        ):
+            problems.append(
+                f"{structlog.ENV_LOG}={log_dest!r}: names a directory, "
+                "not a log file"
             )
 
     if problems:

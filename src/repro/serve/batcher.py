@@ -74,15 +74,20 @@ def build_executor(jobs: int) -> concurrent.futures.Executor:
             max_workers=1, thread_name_prefix="serve-sim"
         )
     from repro.robustness.runner import _pool_initializer, _start_method
+    from repro.telemetry import logging as structlog
 
     cache = trace_cache.default_cache()
     context = multiprocessing.get_context(_start_method(None))
+    log_config = structlog.current_config()
     return concurrent.futures.ProcessPoolExecutor(
         max_workers=jobs,
         mp_context=context,
         initializer=_pool_initializer,
         initargs=(
             str(cache.root), cache.enabled, cache.max_entries, cache.verify,
+            None,  # no chaos plan in serve mode
+            log_config[0] if log_config else None,
+            log_config[1] if log_config else "INFO",
         ),
     )
 

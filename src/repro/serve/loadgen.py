@@ -17,6 +17,20 @@ The report carries p50/p99 latency, throughput, error and memo-hit
 counts, and converts to a ``BENCH_history.json`` record tagged
 ``mode="serve"`` — a separate perf series that ``perf --check``
 refuses to compare against simulate-mode baselines.
+
+Latency percentiles are derived through
+:meth:`repro.telemetry.metrics.Histogram.quantile` over the same
+``LATENCY_BUCKETS`` the server's ``serve.latency_seconds`` histogram
+uses, so the client-side and server-side numbers agree by construction
+(bucket resolution included).
+
+**SLOs**: ``run_load(..., slos=[...])`` additionally samples its own
+``loadgen.*`` registry into a
+:class:`~repro.telemetry.timeseries.TimeSeriesRing` during the run and
+evaluates the declarative objectives (:mod:`repro.telemetry.slo`) over
+it at the end; ``aurora-sim loadgen --slo`` exits
+``EXIT_SLO_VIOLATION`` (6) when any objective burns its budget in
+every window.
 """
 
 from __future__ import annotations
@@ -32,7 +46,14 @@ import urllib.parse
 from dataclasses import dataclass, field
 
 from repro.serve.protocol import parse_query
-from repro.serve.server import percentile
+from repro.serve.server import percentile  # noqa: F401 - public re-export
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.slo import SLODef, SLOResult, evaluate_slos
+from repro.telemetry.timeseries import TimeSeriesRing, sample_registry
 
 #: Default synthetic workloads: small integer kernels so a smoke run
 #: simulates in seconds, not minutes.
@@ -120,6 +141,7 @@ class LoadReport:
     wall_seconds: float = 0.0
     latencies: list[float] = field(default_factory=list)
     error_samples: list[str] = field(default_factory=list)
+    slo_results: list[SLOResult] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -128,13 +150,26 @@ class LoadReport:
             return 0.0
         return self.requests / self.wall_seconds
 
+    def latency_histogram(self) -> Histogram:
+        """The run's latencies as an le-bucket histogram — the *same*
+        buckets and quantile derivation as the server's
+        ``serve.latency_seconds``, so both ends agree by construction."""
+        hist = Histogram("loadgen.latency_seconds", LATENCY_BUCKETS)
+        for value in self.latencies:
+            hist.observe(value)
+        return hist
+
     @property
     def p50_ms(self) -> float:
-        return percentile(self.latencies, 0.50) * 1000.0
+        return self.latency_histogram().quantile(0.50) * 1000.0
 
     @property
     def p99_ms(self) -> float:
-        return percentile(self.latencies, 0.99) * 1000.0
+        return self.latency_histogram().quantile(0.99) * 1000.0
+
+    @property
+    def slo_violated(self) -> bool:
+        return any(result.violated for result in self.slo_results)
 
     def render(self) -> str:
         lines = [
@@ -149,6 +184,8 @@ class LoadReport:
         ]
         for sample in self.error_samples[:3]:
             lines.append(f"error sample: {sample}")
+        for result in self.slo_results:
+            lines.append(result.render())
         return "\n".join(lines)
 
     def as_perf_record(
@@ -204,11 +241,18 @@ def run_load(
     requests: int | None = None,
     duration: float | None = None,
     timeout: float = 300.0,
+    slos: list[SLODef] | None = None,
+    sample_interval: float = 0.25,
 ) -> LoadReport:
     """Drive ``queries`` at the server; closed loop per worker thread.
 
     Stops after ``requests`` total completions (default: one pass over
     the query list) or ``duration`` seconds, whichever is given.
+
+    With ``slos``, a sampler thread snapshots the driver's own
+    ``loadgen.*`` registry every ``sample_interval`` seconds into a
+    time-series ring, and the objectives are evaluated over it after
+    the run (results land in ``report.slo_results``).
     """
     if concurrency < 1:
         raise LoadError(f"concurrency must be >= 1, got {concurrency}")
@@ -217,6 +261,27 @@ def run_load(
     report = LoadReport()
     lock = threading.Lock()
     source = itertools.cycle(queries)
+    registry = MetricsRegistry()
+    requests_counter = registry.counter("loadgen.requests")
+    errors_counter = registry.counter("loadgen.errors")
+    latency_hist = registry.histogram(
+        "loadgen.latency_seconds", LATENCY_BUCKETS
+    )
+    ring: TimeSeriesRing | None = None
+    sampler: threading.Thread | None = None
+    sampling_done = threading.Event()
+    if slos:
+        ring = TimeSeriesRing(max(16, int(3600 / max(sample_interval, 0.01))))
+        ring.append(sample_registry(registry))
+
+        def sample_loop() -> None:
+            while not sampling_done.wait(sample_interval):
+                ring.append(sample_registry(registry))
+
+        sampler = threading.Thread(
+            target=sample_loop, daemon=True, name="loadgen-sampler"
+        )
+        sampler.start()
     deadline = time.monotonic() + duration if duration else None
     started = time.monotonic()
 
@@ -232,11 +297,14 @@ def run_load(
     in_flight = [0]
 
     def settle(latency: float, response: dict | None, problem: str | None) -> None:
+        requests_counter.inc()
+        latency_hist.observe(latency)
         with lock:
             in_flight[0] -= 1
             report.requests += 1
             report.latencies.append(latency)
             if problem is not None:
+                errors_counter.inc()
                 report.errors += 1
                 if len(report.error_samples) < 8:
                     report.error_samples.append(problem)
@@ -291,4 +359,10 @@ def run_load(
     for thread in threads:
         thread.join()
     report.wall_seconds = time.monotonic() - started
+    if slos and ring is not None:
+        sampling_done.set()
+        if sampler is not None:
+            sampler.join(timeout=5.0)
+        ring.append(sample_registry(registry))
+        report.slo_results = evaluate_slos(slos, ring, prefix="loadgen")
     return report

@@ -8,9 +8,17 @@ connections, JSON in and out.  Three routes:
   :mod:`repro.serve.protocol`); answers from the memo store or through
   the :class:`~repro.serve.batcher.QueryBatcher`.
 * ``GET /metrics`` — the full ``serve.*`` MetricsRegistry snapshot as
-  JSON, with p50/p99 latency gauges computed at scrape time from a
-  bounded reservoir of recent request latencies.
+  JSON, with p50/p99 latency gauges derived at scrape time from the
+  ``serve.latency_seconds`` le-bucket histogram
+  (:meth:`~repro.telemetry.metrics.Histogram.quantile` — the same
+  derivation loadgen reports, so the two agree by construction);
+  ``GET /metrics?format=prom`` renders the registry in Prometheus text
+  exposition format instead (:mod:`repro.telemetry.prom`).
 * ``GET /healthz`` — liveness plus the in-flight gauge.
+* ``GET /readyz`` — readiness: 503 until the listener is up and the
+  batch dispatcher can accept work, 200 after.
+* ``GET /timeseries`` — the in-process sampling ring's recent samples
+  (present when ``--sample-interval`` is positive).
 
 Every request runs under a ``request`` span with nested ``validate``,
 ``batch_wait``, ``simulate_batch`` (recorded inside ``simulate_many``)
@@ -28,7 +36,6 @@ signal aborts hard.
 from __future__ import annotations
 
 import asyncio
-import collections
 import json
 import sys
 import threading
@@ -44,12 +51,17 @@ from repro.serve.protocol import (
 )
 from repro.serve.store import MemoStore
 from repro.telemetry import tracing
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.logging import get_logger
+from repro.telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.telemetry.prom import render_prom
+from repro.telemetry.timeseries import TimeSeriesRing, sample_registry
+
 from repro.workloads.registry import WorkloadError
 
-#: Bounded reservoir of recent request latencies (seconds) for the
-#: scrape-time p50/p99 gauges.
-LATENCY_RESERVOIR = 4096
+_log = get_logger("serve")
+
+#: ``/timeseries`` returns at most this many trailing ring samples.
+TIMESERIES_SCRAPE_LIMIT = 256
 #: Request bodies past this are rejected up front (64 MiB of JSON is an
 #: attack or a bug, not a machine configuration).
 MAX_BODY_BYTES = 1 << 20
@@ -79,6 +91,14 @@ class ServeConfig:
     trace_out: str | None = None
     quiet: bool = False
     extra_metrics: dict = field(default_factory=dict)
+    #: Registry-sampling interval (seconds) for the time-series ring;
+    #: 0 disables sampling entirely (no ring, no task — zero overhead).
+    sample_interval: float = 1.0
+    #: Ring capacity (samples kept in memory).
+    ring_capacity: int = 2048
+    #: Optional JSONL persistence path for the ring (crash-tolerant;
+    #: reloaded on restart so history survives).
+    ring_out: str | None = None
 
 
 class ServeApp:
@@ -89,17 +109,23 @@ class ServeApp:
         store: MemoStore,
         batcher: QueryBatcher,
         metrics: MetricsRegistry,
+        *,
+        ring: TimeSeriesRing | None = None,
     ) -> None:
         self.store = store
         self.batcher = batcher
         self.metrics = metrics
-        self.latencies: collections.deque[float] = collections.deque(
-            maxlen=LATENCY_RESERVOIR
-        )
+        self.ring = ring
+        #: Readiness: False until the listener is up and the batch
+        #: dispatcher can accept work; ``/readyz`` answers 503 before.
+        self.ready = False
         metrics.counter("serve.requests")
         metrics.counter("serve.errors")
         metrics.gauge("serve.in_flight").set(0)
-        metrics.histogram("serve.latency_seconds")
+        metrics.histogram("serve.latency_seconds", LATENCY_BUCKETS)
+
+    def mark_ready(self) -> None:
+        self.ready = True
 
     # ------------------------------------------------------------- routes
 
@@ -124,28 +150,47 @@ class ServeApp:
             **meta,
         }
 
-    def metrics_payload(self) -> dict:
+    def refresh_gauges(self) -> None:
+        """Scrape-time derived gauges (hit rate, latency quantiles)."""
         queries = self.metrics.counter("serve.queries").value
         hits = self.metrics.counter("serve.memo.hits").value
         self.metrics.gauge("serve.memo.hit_rate").set(
             hits / queries if queries else 0.0
         )
-        samples = list(self.latencies)
+        latency = self.metrics.histogram("serve.latency_seconds")
         self.metrics.gauge("serve.latency_p50_seconds").set(
-            percentile(samples, 0.50)
+            latency.quantile(0.50)
         )
         self.metrics.gauge("serve.latency_p99_seconds").set(
-            percentile(samples, 0.99)
+            latency.quantile(0.99)
         )
         for name, value in self.store.snapshot().items():
             self.metrics.gauge(f"serve.store.{name}").set(value)
+
+    def metrics_payload(self) -> dict:
+        self.refresh_gauges()
         return self.metrics.as_dict()
+
+    def metrics_prom(self) -> str:
+        self.refresh_gauges()
+        return render_prom(self.metrics)
 
     def healthz_payload(self) -> dict:
         return {
             "status": "ok",
             "in_flight": self.metrics.gauge("serve.in_flight").value or 0,
         }
+
+    def readyz_payload(self) -> tuple[int, dict]:
+        if self.ready:
+            return 200, {"status": "ready"}
+        return 503, {"status": "starting"}
+
+    def timeseries_payload(self) -> dict:
+        if self.ring is None:
+            return {"sampling": False, "samples": []}
+        samples = self.ring.samples()[-TIMESERIES_SCRAPE_LIMIT:]
+        return {"sampling": True, "samples": samples}
 
     # --------------------------------------------------------- connection
 
@@ -157,9 +202,9 @@ class ServeApp:
                 request = await _read_request(reader)
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, path, query, headers, body = request
                 keep_alive = headers.get("connection", "").lower() != "close"
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(method, path, query, body)
                 await _write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -178,8 +223,8 @@ class ServeApp:
                 pass
 
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, dict | str]:
         in_flight = self.metrics.gauge("serve.in_flight")
         loop = asyncio.get_running_loop()
         started = loop.time()
@@ -190,9 +235,16 @@ class ServeApp:
                 if path == "/query" and method == "POST":
                     status, payload = await self.handle_query(body)
                 elif path == "/metrics" and method == "GET":
-                    status, payload = 200, self.metrics_payload()
+                    if "format=prom" in query.split("&"):
+                        status, payload = 200, self.metrics_prom()
+                    else:
+                        status, payload = 200, self.metrics_payload()
                 elif path == "/healthz" and method == "GET":
                     status, payload = 200, self.healthz_payload()
+                elif path == "/readyz" and method == "GET":
+                    status, payload = self.readyz_payload()
+                elif path == "/timeseries" and method == "GET":
+                    status, payload = 200, self.timeseries_payload()
                 else:
                     status, payload = 404, {
                         "error": f"no route for {method} {path}"
@@ -201,10 +253,13 @@ class ServeApp:
             status, payload = 500, {
                 "error": f"{type(error).__name__}: {error}"
             }
+            _log.error(
+                "serve.request_failed", method=method, path=path,
+                exception=type(error).__name__, detail=str(error),
+            )
         finally:
             in_flight.set((in_flight.value or 1) - 1)
         elapsed = loop.time() - started
-        self.latencies.append(elapsed)
         self.metrics.histogram("serve.latency_seconds").observe(elapsed)
         if status >= 400:
             self.metrics.counter("serve.errors").inc()
@@ -216,7 +271,7 @@ class ServeApp:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, dict, bytes] | None:
+) -> tuple[str, str, str, dict, bytes] | None:
     """One HTTP/1.1 request, or None at a clean connection close."""
     try:
         request_line = await reader.readline()
@@ -228,7 +283,7 @@ async def _read_request(
     if len(parts) < 2:
         return None
     method, raw_path = parts[0].upper(), parts[1]
-    path = raw_path.split("?", 1)[0]
+    path, _, query = raw_path.partition("?")
     headers: dict[str, str] = {}
     while True:
         line = await reader.readline()
@@ -245,7 +300,7 @@ async def _read_request(
     if length < 0 or length > MAX_BODY_BYTES:
         return None
     body = await reader.readexactly(length) if length else b""
-    return method, path, headers, body
+    return method, path, query, headers, body
 
 
 _STATUS_TEXT = {
@@ -255,14 +310,22 @@ _STATUS_TEXT = {
 
 
 async def _write_response(
-    writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict | str,
+    keep_alive: bool,
 ) -> None:
-    body = (json.dumps(payload) + "\n").encode("utf-8")
+    if isinstance(payload, str):  # pre-rendered text (Prometheus scrape)
+        body = payload.encode("utf-8")
+        content_type = "Content-Type: text/plain; version=0.0.4\r\n"
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        content_type = _JSON_HEADERS
     reason = _STATUS_TEXT.get(status, "Unknown")
     connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"{_JSON_HEADERS}"
+        f"{content_type}"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {connection}\r\n"
         "\r\n"
@@ -302,16 +365,35 @@ async def run_server(
         kernel=config.kernel,
         jobs=config.jobs,
     )
-    app = ServeApp(store, batcher, metrics)
+    ring: TimeSeriesRing | None = None
+    if config.sample_interval > 0:
+        if config.ring_out:
+            # Crash-tolerant: reload whatever history survived, keep
+            # appending to the same JSONL file.
+            ring = TimeSeriesRing.load(
+                config.ring_out,
+                capacity=config.ring_capacity,
+                persist=True,
+            )
+        else:
+            ring = TimeSeriesRing(config.ring_capacity)
+    app = ServeApp(store, batcher, metrics, ring=ring)
 
     def _notify(name: str) -> None:
         loop.call_soon_threadsafe(stop.set)
+        _log.warning("serve.signal", signal=name)
         if not config.quiet:
             print(
                 f"warning: received {name}; draining in-flight batches "
                 "and flushing the memo store (repeat to abort hard)",
                 file=out,
             )
+
+    async def _sample_loop() -> None:
+        while True:
+            await asyncio.sleep(config.sample_interval)
+            app.refresh_gauges()
+            ring.append(sample_registry(metrics))
 
     signals = GracefulSignals(notify=_notify)
     signals.install()
@@ -324,20 +406,42 @@ async def run_server(
         port_holder["app"] = app
     if not config.quiet:
         print(f"serving on http://{config.host}:{port}", file=out, flush=True)
+    _log.info(
+        "serve.start", host=config.host, port=port, jobs=config.jobs,
+        window=config.window, sample_interval=config.sample_interval,
+    )
+    sampler = (
+        loop.create_task(_sample_loop()) if ring is not None else None
+    )
+    # The listener is up and the batcher can dispatch: ready for traffic.
+    app.mark_ready()
     if ready is not None:
         ready.set()
     try:
         await stop.wait()
     finally:
+        app.ready = False
         server.close()
         await server.wait_closed()
+        if sampler is not None:
+            sampler.cancel()
+            try:
+                await sampler
+            except asyncio.CancelledError:
+                pass
         await batcher.drain()
         batcher.shutdown()
         persisted = store.flush()
+        if ring is not None:
+            ring.close()
         signals.restore()
         if tracer is not None:
             tracing.set_tracer(None)
             tracer.write_chrome(config.trace_out)
+        _log.info(
+            "serve.drained", persisted=persisted, store=str(store.root),
+            signalled=signals.signal is not None,
+        )
         if not config.quiet:
             print(
                 f"drained: {persisted} memoized results persisted to "

@@ -37,9 +37,12 @@ import tempfile
 import threading
 
 from repro.core.stats import SimStats
+from repro.telemetry.logging import get_logger
 
 #: Default store location, beside the trace cache and checkpoint trees.
 DEFAULT_ROOT = pathlib.Path("results") / ".sim_memo"
+
+_log = get_logger("store")
 
 
 class MemoStore:
@@ -127,6 +130,12 @@ class MemoStore:
             with self._lock:
                 self.invalidated += 1
                 self.misses += 1
+            _log.warning(
+                "memo.invalidated",
+                path=path.name,
+                old_code=stored_code,
+                new_code=self.code_hash,
+            )
             self._warn(
                 f"memo invalidated (code changed): "
                 f"old={stored_code} new={self.code_hash}"
@@ -154,6 +163,7 @@ class MemoStore:
         with self._lock:
             self.corrupt += 1
             self.misses += 1
+        _log.warning("memo.self_heal", path=path.name, why=why)
         self._warn(f"memo self-heal: {path.name}: {why}; recomputing")
         try:
             path.unlink(missing_ok=True)

@@ -1,0 +1,192 @@
+"""A live terminal dashboard for a running server: ``aurora-sim top``.
+
+Polls ``GET /metrics`` on an interval, keeps its own client-side
+:class:`~repro.telemetry.timeseries.TimeSeriesRing` of the scrapes, and
+renders a refreshing text dashboard: request and error rates, latency
+p50/p99, memo hit rate, batch width, in-flight — each with a
+sparkline-style history strip, newest sample on the right::
+
+    aurora-sim top — http://127.0.0.1:8311  (2.0s refresh, 14 samples)
+
+    req/s          12.4  ▁▂▃▅▆▇█▆▅▆▇█▇▆
+    err/s           0.0  ▁▁▁▁▁▁▁▁▁▁▁▁▁▁
+    p50 ms          4.2  ▃▃▃▂▂▂▃▃▄▃▃▃▃▃
+    ...
+
+No new dependencies: plain :mod:`http.client` polling, ANSI clear
+between frames (suppressed when the output is not a tty or with
+``--no-clear``), Unicode block characters for the sparklines.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import time
+
+from repro.telemetry.timeseries import TimeSeriesRing, rate
+
+#: Sparkline glyphs, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: History samples kept (and sparkline width).
+HISTORY = 30
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+class TopError(RuntimeError):
+    """The dashboard cannot reach or parse the server."""
+
+
+def sparkline(values: list[float], width: int = HISTORY) -> str:
+    """Render the trailing ``width`` values as a block-character strip."""
+    tail = values[-width:]
+    if not tail:
+        return ""
+    low, high = min(tail), max(tail)
+    if high <= low:
+        return SPARK_CHARS[0] * len(tail)
+    steps = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[round((value - low) / (high - low) * steps)]
+        for value in tail
+    )
+
+
+def fetch_metrics(url: str, timeout: float = 10.0) -> dict:
+    """One ``GET /metrics`` scrape, parsed."""
+    import urllib.parse
+
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.scheme not in ("http", "") or not parsed.hostname:
+        raise TopError(f"url must be http://host:port, got {url!r}")
+    connection = http.client.HTTPConnection(
+        parsed.hostname, parsed.port or 80, timeout=timeout
+    )
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        payload = response.read()
+        if response.status != 200:
+            raise TopError(
+                f"GET /metrics answered HTTP {response.status}"
+            )
+        return json.loads(payload)
+    except (OSError, http.client.HTTPException) as error:
+        raise TopError(
+            f"cannot scrape {url}: {type(error).__name__}: {error}"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise TopError(f"metrics payload is not JSON: {error}") from None
+    finally:
+        connection.close()
+
+
+class TopDashboard:
+    """Scrape history + rendering for one server."""
+
+    def __init__(self, url: str, *, interval: float = 2.0) -> None:
+        self.url = url
+        self.interval = interval
+        self.ring = TimeSeriesRing(max(HISTORY, 2))
+        self._histories: dict[str, list[float]] = {}
+
+    # ---------------------------------------------------------- sampling
+
+    def scrape(self, *, now: float | None = None) -> None:
+        doc = fetch_metrics(self.url)
+        values: dict[str, float] = {}
+        values.update(doc.get("counters", {}))
+        for name, value in doc.get("gauges", {}).items():
+            if value is not None:
+                values[name] = value
+        for name, hist in doc.get("histograms", {}).items():
+            values[f"{name}.count"] = hist.get("count", 0)
+            values[f"{name}.sum"] = hist.get("sum", 0.0)
+            values[f"{name}.mean"] = hist.get("mean", 0.0)
+        self.ring.append(
+            {"t": time.time() if now is None else now, "values": values}
+        )
+
+    # --------------------------------------------------------- rendering
+
+    def _row(self, label: str, value: float, fmt: str = "{:>10.1f}") -> str:
+        history = self._histories.setdefault(label, [])
+        history.append(value)
+        del history[:-HISTORY]
+        return f"{label:<14}{fmt.format(value)}  {sparkline(history)}"
+
+    def render(self) -> str:
+        latest = self.ring.latest()
+        if latest is None:
+            return "no samples yet"
+        values = latest["values"]
+        window = self.interval * HISTORY
+        requests_rate = rate(self.ring, "serve.requests", window)
+        error_rate = rate(self.ring, "serve.errors", window)
+        queries = values.get("serve.queries", 0.0)
+        hits = values.get("serve.memo.hits", 0.0)
+        hit_rate = (hits / queries * 100.0) if queries else 0.0
+        dispatches = values.get("serve.dispatches", 0.0)
+        simulated = values.get("serve.simulated_configs", 0.0)
+        batch_width = (simulated / dispatches) if dispatches else 0.0
+        lines = [
+            f"aurora-sim top — {self.url}  "
+            f"({self.interval:g}s refresh, {len(self.ring)} samples)",
+            "",
+            self._row("req/s", requests_rate),
+            self._row("err/s", error_rate),
+            self._row(
+                "p50 ms",
+                values.get("serve.latency_p50_seconds", 0.0) * 1000.0,
+                "{:>10.2f}",
+            ),
+            self._row(
+                "p99 ms",
+                values.get("serve.latency_p99_seconds", 0.0) * 1000.0,
+                "{:>10.2f}",
+            ),
+            self._row("memo hit %", hit_rate),
+            self._row("batch width", batch_width, "{:>10.2f}"),
+            self._row("in-flight", values.get("serve.in_flight", 0.0)),
+            "",
+            f"requests {values.get('serve.requests', 0):>.0f}   "
+            f"errors {values.get('serve.errors', 0):>.0f}   "
+            f"memo hits {hits:>.0f}   "
+            f"coalesced {values.get('serve.coalesced', 0):>.0f}",
+        ]
+        return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    stream=None,
+    clear: bool | None = None,
+) -> int:
+    """Poll + render until interrupted (or for ``iterations`` frames).
+
+    ``clear=None`` auto-detects: ANSI clear only when writing to a tty.
+    Returns 0; scrape failures raise :class:`TopError` (the CLI maps
+    them to an error exit).
+    """
+    out = stream if stream is not None else sys.stdout
+    if clear is None:
+        clear = bool(getattr(out, "isatty", lambda: False)())
+    dashboard = TopDashboard(url, interval=interval)
+    frame = 0
+    while iterations is None or frame < iterations:
+        dashboard.scrape()
+        if clear:
+            out.write(_CLEAR)
+        out.write(dashboard.render() + "\n")
+        out.flush()
+        frame += 1
+        if iterations is not None and frame >= iterations:
+            break
+        time.sleep(interval)
+    return 0

@@ -57,12 +57,38 @@ from repro.telemetry.baseline import (  # noqa: F401
     RegressionCheck,
     validate_record,
 )
+from repro.telemetry.logging import (  # noqa: F401
+    LogConfigError,
+    StructLogger,
+    get_logger,
+    read_log,
+)
 from repro.telemetry.metrics import (  # noqa: F401
     Counter,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     MetricsRegistry,
+    publish_bus_health,
     publish_stats,
+)
+from repro.telemetry.prom import (  # noqa: F401
+    PromFormatError,
+    parse_prom,
+    render_prom,
+)
+from repro.telemetry.slo import (  # noqa: F401
+    SLODef,
+    SLOError,
+    SLOResult,
+    evaluate_slos,
+    parse_slo,
+    render_results,
+)
+from repro.telemetry.timeseries import (  # noqa: F401
+    TimeSeriesRing,
+    quantile_over_window,
+    sample_registry,
 )
 from repro.telemetry.profiling import (  # noqa: F401
     PerfReport,

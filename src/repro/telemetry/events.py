@@ -221,6 +221,11 @@ class EventBus:
     def detach(self, sink) -> None:
         self._sinks.remove(sink)
 
+    @property
+    def sinks(self) -> tuple:
+        """The attached sinks (read-only view; health reporting)."""
+        return tuple(self._sinks)
+
     def __bool__(self) -> bool:
         return bool(self._sinks)
 

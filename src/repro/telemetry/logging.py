@@ -1,0 +1,242 @@
+"""Structured JSON-lines logging with span correlation.
+
+The repo's operator-facing warnings have always been honest plain-text
+lines on a stream — good for a human tailing a sweep, useless for a
+log pipeline.  This module adds the production shape *next to* them:
+one JSON object per line, each a **typed event** with fields::
+
+    {"ts": 1718000000.123, "level": "WARNING", "component": "trace_cache",
+     "event": "cache.checksum_failure", "trace_id": "9f2c41d0a3b7",
+     "span_id": "4711-3", "path": "compress.s16.v2.npy", ...}
+
+* ``get_logger(component)`` returns a :class:`StructLogger` whose
+  ``debug/info/warning/error(event, **fields)`` methods emit one line.
+* **Correlation for free**: when a :class:`~repro.telemetry.tracing.
+  SpanTracer` is installed (``--trace``, serve request spans, pool
+  workers), every record carries its ``trace_id`` and the innermost
+  open span's ``span_id`` — a checksum failure inside a worker is
+  attributable to the exact attempt that hit it.
+* **Zero overhead when off** — the same contract as the event bus and
+  the span tracer: until :func:`configure` installs a destination,
+  every emit is a single module-global ``None`` check.  No handler, no
+  formatting, no clock read.
+* Destination selection: ``--log-file PATH`` / ``REPRO_LOG=PATH`` (or
+  ``stderr`` / ``-`` for the standard error stream); level via
+  ``--log-level`` / ``REPRO_LOG_LEVEL`` (validated eagerly by
+  :func:`repro.robustness.validation.validate_environment`).
+* **Pool propagation**: the runner's and batcher's worker initializer
+  forwards :func:`current_config`, so worker processes append to the
+  same log file (one line per ``write`` on an ``O_APPEND`` descriptor —
+  atomic for sane line lengths on POSIX).
+
+Built on stdlib :mod:`logging`: one ``repro`` logger, one handler, a
+JSON formatter.  Nothing here imports numpy or the simulator.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging as _stdlog
+import sys
+import threading
+
+#: Environment variables (validated by ``validate_environment``).
+ENV_LOG = "REPRO_LOG"
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+#: Accepted ``--log-level`` / ``REPRO_LOG_LEVEL`` values.
+LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+#: Destination aliases for the standard error stream.
+STDERR_ALIASES = ("stderr", "-")
+
+_LOGGER_NAME = "repro"
+
+#: Module-global config: ``None`` = disabled (the zero-overhead state).
+_config: "LogConfig | None" = None
+_lock = threading.Lock()
+
+
+class LogConfigError(ValueError):
+    """A log destination or level is unusable; names the reason."""
+
+
+class _JSONFormatter(_stdlog.Formatter):
+    """One JSON object per record; the message is pre-built fields."""
+
+    def format(self, record: _stdlog.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+        }
+        fields = getattr(record, "struct_fields", None)
+        if fields:
+            payload.update(fields)
+        else:  # a foreign stdlib record strayed onto our handler
+            payload["component"] = record.name
+            payload["event"] = "log.message"
+            payload["message"] = record.getMessage()
+        return json.dumps(payload, default=str, separators=(", ", ": "))
+
+
+class LogConfig:
+    """An installed destination: stream or append-mode file + level."""
+
+    def __init__(self, destination: str, level: str) -> None:
+        level = level.upper()
+        if level not in LEVELS:
+            raise LogConfigError(
+                f"log level {level!r} is not one of {'/'.join(LEVELS)}"
+            )
+        self.destination = destination
+        self.level = level
+        self._owns_stream = destination not in STDERR_ALIASES
+        if self._owns_stream:
+            try:
+                # Append mode: pool workers and the parent interleave
+                # whole lines instead of clobbering each other.
+                stream = open(destination, "a", encoding="utf-8")
+            except OSError as error:
+                raise LogConfigError(
+                    f"cannot open log file {destination!r}: {error}"
+                ) from None
+        else:
+            stream = sys.stderr
+        self.handler = _stdlog.StreamHandler(stream)
+        self.handler.setFormatter(_JSONFormatter())
+        self.logger = _stdlog.getLogger(_LOGGER_NAME)
+        self.logger.addHandler(self.handler)
+        self.logger.setLevel(level)
+        self.logger.propagate = False
+
+    def close(self) -> None:
+        self.logger.removeHandler(self.handler)
+        if self._owns_stream:
+            self.handler.close()
+        else:
+            self.handler.flush()
+
+
+def configure(destination: str | None, level: str = "INFO") -> None:
+    """Install (or, with ``destination=None``, remove) the log sink.
+
+    Replaces any previous configuration; the previous file handle is
+    closed.  Raises :class:`LogConfigError` for a bad level or an
+    unopenable path.
+    """
+    global _config
+    with _lock:
+        new = LogConfig(destination, level) if destination else None
+        old, _config = _config, new
+        if old is not None:
+            old.close()
+
+
+def configure_from_env(environ=None) -> None:
+    """Apply ``REPRO_LOG`` / ``REPRO_LOG_LEVEL`` (unset = leave alone)."""
+    import os
+
+    env = os.environ if environ is None else environ
+    destination = env.get(ENV_LOG, "")
+    if destination:
+        configure(destination, env.get(ENV_LOG_LEVEL, "") or "INFO")
+
+
+def shutdown() -> None:
+    """Remove the sink and close the file (back to zero-overhead-off)."""
+    configure(None)
+
+
+def enabled() -> bool:
+    """True when a destination is installed."""
+    return _config is not None
+
+
+def current_config() -> tuple[str, str] | None:
+    """``(destination, level)`` for pool propagation, or ``None``."""
+    config = _config
+    return (config.destination, config.level) if config else None
+
+
+def _correlation() -> dict:
+    """trace/span ids from the installed tracer (empty when none)."""
+    from repro.telemetry import tracing
+
+    tracer = tracing.current_tracer()
+    if tracer is None:
+        return {}
+    ids: dict = {"trace_id": tracer.trace_id}
+    span = tracer.current()
+    if span is not None:
+        ids["span_id"] = span.span_id
+    return ids
+
+
+class StructLogger:
+    """Per-component emitter of typed JSON-lines events.
+
+    Cheap to construct and hold at module level — it resolves the
+    installed config at *call* time, so a logger created before
+    :func:`configure` works, and one held after :func:`shutdown` costs
+    one ``None`` check per call.
+    """
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def event(self, level: str, event: str, **fields) -> None:
+        config = _config
+        if config is None:  # the zero-overhead-off path
+            return
+        level_no = _stdlog.getLevelName(level)
+        if not config.logger.isEnabledFor(level_no):
+            return
+        payload = {"component": self.component, "event": event}
+        payload.update(_correlation())
+        payload.update(fields)
+        config.logger.log(level_no, event, extra={"struct_fields": payload})
+
+    def debug(self, event: str, **fields) -> None:
+        self.event("DEBUG", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.event("INFO", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.event("WARNING", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.event("ERROR", event, **fields)
+
+
+def get_logger(component: str) -> StructLogger:
+    """The :class:`StructLogger` for one subsystem (e.g. ``serve``)."""
+    return StructLogger(component)
+
+
+def read_log(path) -> list[dict]:
+    """Parse a JSON-lines log file back into records (tests, tooling).
+
+    Every non-blank line must parse — a structured log with junk in it
+    is a bug, so this raises ``ValueError`` naming the line.
+    """
+    records = []
+    with io.open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: not a JSON log line: {error}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{number}: log record must be an object"
+                )
+            records.append(record)
+    return records

@@ -22,6 +22,8 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import re
+import threading
 
 from repro.core.stats import SimStats, StallKind
 
@@ -30,20 +32,41 @@ DEFAULT_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
 )
 
+#: Request-latency bucket bounds (seconds): the Prometheus classic
+#: ladder.  Serve and loadgen both register their latency histograms
+#: over these, so their quantiles agree by construction.
+LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Legal registry metric names: dotted namespaces over the Prometheus
+#: charset, so ``repro.telemetry.prom`` can always render them by
+#: mapping dots to underscores.  Enforced at registration, not render —
+#: a typo'd name fails where it is written, not at the first scrape.
+VALID_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_.:]*\Z")
+
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
+
+    Thread-safe: the serve front end increments from executor callbacks
+    and loadgen from client threads.  (Metrics sit outside the simulator
+    hot loop, so the lock costs nothing that matters.)
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -75,6 +98,7 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -82,17 +106,43 @@ class Histogram:
             raise ValueError(
                 f"histogram {self.name!r} cannot observe {value!r}"
             )
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile from the cumulative ``le`` buckets.
+
+        Returns the upper bound of the bucket holding the ranked
+        observation, clamped to the observed ``max`` (so a quantile can
+        never exceed anything actually seen, and the implicit ``+Inf``
+        bucket resolves to the real maximum instead of infinity).
+        Resolution is bucket granularity by design — this is *the*
+        shared derivation for serve's and loadgen's p50/p99, so both
+        ends agree by construction.  Empty histograms answer 0.0.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(
+                f"quantile fraction must be in [0, 1], got {fraction!r}"
+            )
+        with self._lock:
+            if not self.count:
+                return 0.0
+            rank = max(1, math.ceil(fraction * self.count))
+            observed_max = self.max if self.max is not None else 0.0
+            for bound, cumulative in zip(self.buckets, self.bucket_counts):
+                if cumulative >= rank:
+                    return min(bound, observed_max)
+            return observed_max  # ranked past the last bound: +Inf bucket
 
 
 class MetricsRegistry:
@@ -102,27 +152,37 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
-        self._check_name(name, self._gauges, self._histograms)
-        return self._counters.setdefault(name, Counter(name))
+        with self._lock:
+            self._check_name(name, self._gauges, self._histograms)
+            return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
-        self._check_name(name, self._counters, self._histograms)
-        return self._gauges.setdefault(name, Gauge(name))
+        with self._lock:
+            self._check_name(name, self._counters, self._histograms)
+            return self._gauges.setdefault(name, Gauge(name))
 
     def histogram(
         self, name: str, buckets: tuple[float, ...] | None = None
     ) -> Histogram:
-        self._check_name(name, self._counters, self._gauges)
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(
-                name, buckets if buckets is not None else DEFAULT_BUCKETS
-            )
-        return self._histograms[name]
+        with self._lock:
+            self._check_name(name, self._counters, self._gauges)
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            return self._histograms[name]
 
     @staticmethod
     def _check_name(name: str, *other_pools: dict) -> None:
+        if not VALID_NAME.match(name):
+            raise ValueError(
+                f"metric name {name!r} is invalid: names must match "
+                f"[a-zA-Z_][a-zA-Z0-9_.:]* (dots namespace; everything "
+                f"else must survive the Prometheus exposition mapping)"
+            )
         for pool in other_pools:
             if name in pool:
                 raise ValueError(
@@ -131,6 +191,10 @@ class MetricsRegistry:
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of every registered metric."""
+        with self._lock:
+            return self._as_dict_locked()
+
+    def _as_dict_locked(self) -> dict:
         return {
             "counters": {
                 name: counter.value
@@ -226,4 +290,31 @@ def publish_stats(
         registry.gauge(f"{prefix}.kernel").set(
             float(KERNEL_NAMES.index(kernel))
         )
+    return registry
+
+
+def publish_bus_health(
+    bus, registry: MetricsRegistry, prefix: str = "telemetry"
+) -> MetricsRegistry:
+    """Expose event-bus delivery health as ``<prefix>.*`` metrics.
+
+    Event loss used to be visible only after the fact, when an exact
+    cross-check refused a partial stream with ``PartialTraceError``;
+    these gauges put it on the scrape path instead: ``sinks`` attached,
+    events ``recorded`` by counting sinks, and ring-buffer ``dropped``
+    (evictions past capacity).  Sinks without counters (e.g. a bare
+    NDJSON stream) simply contribute nothing.
+    """
+    sinks = list(getattr(bus, "sinks", ()) or ())
+    registry.gauge(f"{prefix}.sinks").set(float(len(sinks)))
+    recorded = dropped = 0
+    counted = False
+    for sink in sinks:
+        if hasattr(sink, "recorded"):
+            counted = True
+            recorded += sink.recorded
+            dropped += getattr(sink, "dropped", 0)
+    if counted:
+        registry.gauge(f"{prefix}.events_recorded").set(float(recorded))
+        registry.gauge(f"{prefix}.events_dropped").set(float(dropped))
     return registry

@@ -1,0 +1,195 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+The registry's ``as_dict()`` JSON is fine for humans and tests; a real
+scrape pipeline wants the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_.
+:func:`render_prom` produces it:
+
+* counters render with the conventional ``_total`` suffix,
+* gauges render as-is (unset gauges are skipped, not faked as 0),
+* histograms render as cumulative ``_bucket{le="..."}`` series ending
+  at ``le="+Inf"``, plus ``_sum`` and ``_count``,
+* registry names use dots as namespace separators (``serve.memo.hits``);
+  the exposition maps them to underscores (``serve_memo_hits_total``).
+  The charset is enforced at *registration* time (see
+  :data:`repro.telemetry.metrics.VALID_NAME`), so render can never
+  produce an invalid line.
+
+:func:`parse_prom` is the matching minimal parser — enough to validate
+a scrape in CI and round-trip the values in tests, not a full client:
+it checks line grammar, that every sample belongs to a ``# TYPE``-
+declared family, that bucket counts are cumulative, and that the
+``+Inf`` bucket equals ``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Prometheus metric-name grammar (what rendered names must match).
+PROM_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+_SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*\Z"
+)
+
+
+class PromFormatError(ValueError):
+    """An exposition document is malformed; names line and reason."""
+
+
+def prom_name(name: str) -> str:
+    """Map a registry name to its exposition name (dots → underscores)."""
+    return name.replace(".", "_")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prom(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    snapshot = registry.as_dict()
+    lines: list[str] = []
+
+    for name, value in snapshot["counters"].items():
+        family = prom_name(name) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format_value(value)}")
+
+    for name, value in snapshot["gauges"].items():
+        if value is None:  # registered but never set: don't fake a 0
+            continue
+        family = prom_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(value)}")
+
+    for name, hist in snapshot["histograms"].items():
+        family = prom_name(name)
+        lines.append(f"# TYPE {family} histogram")
+        for bound, count in hist["buckets"].items():
+            le = _format_value(float(bound))
+            lines.append(f'{family}_bucket{{le="{le}"}} {count}')
+        lines.append(f'{family}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{family}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{family}_count {hist['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _parse_number(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PromFormatError(
+            f"line {line_no}: {text!r} is not a number"
+        ) from None
+
+
+def parse_prom(text: str) -> dict:
+    """Parse and validate an exposition document.
+
+    Returns ``{"types": {family: kind}, "samples": {name: value}}``
+    where histogram bucket samples key as ``family_bucket{le="..."}``.
+    Raises :class:`PromFormatError` on any grammar or consistency
+    violation (undeclared family, non-cumulative buckets, ``+Inf``
+    bucket disagreeing with ``_count``).
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise PromFormatError(
+                    f"line {line_no}: malformed TYPE line: {raw!r}"
+                )
+            _, _, family, kind = parts
+            if not PROM_NAME_RE.match(family):
+                raise PromFormatError(
+                    f"line {line_no}: invalid family name {family!r}"
+                )
+            if kind not in ("counter", "gauge", "histogram"):
+                raise PromFormatError(
+                    f"line {line_no}: unknown metric type {kind!r}"
+                )
+            types[family] = kind
+            continue
+        if line.startswith("#"):  # HELP / comments: tolerated
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PromFormatError(
+                f"line {line_no}: not a valid sample line: {raw!r}"
+            )
+        name = match.group("name")
+        labels = match.group("labels")
+        value = _parse_number(match.group("value"), line_no)
+
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                family = base
+                break
+        if family not in types:
+            raise PromFormatError(
+                f"line {line_no}: sample {name!r} has no preceding "
+                f"# TYPE declaration"
+            )
+        key = name if labels is None else f"{name}{{{labels}}}"
+        if key in samples:
+            raise PromFormatError(
+                f"line {line_no}: duplicate sample {key!r}"
+            )
+        samples[key] = value
+        if name.endswith("_bucket") and family != name:
+            if labels is None or not labels.startswith('le="'):
+                raise PromFormatError(
+                    f"line {line_no}: histogram bucket without an le label"
+                )
+            le = _parse_number(labels[4:].rstrip('"'), line_no)
+            buckets.setdefault(family, []).append((le, value))
+
+    for family, series in buckets.items():
+        counts = [count for _le, count in series]
+        if counts != sorted(counts):
+            raise PromFormatError(
+                f"histogram {family!r}: bucket counts are not cumulative"
+            )
+        if not series or series[-1][0] != math.inf:
+            raise PromFormatError(
+                f"histogram {family!r}: missing the +Inf bucket"
+            )
+        total = samples.get(f"{family}_count")
+        if total is not None and series[-1][1] != total:
+            raise PromFormatError(
+                f"histogram {family!r}: +Inf bucket {series[-1][1]} != "
+                f"count {total}"
+            )
+    return {"types": types, "samples": samples}

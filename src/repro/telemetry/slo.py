@@ -1,0 +1,192 @@
+"""Declarative service-level objectives with multi-window burn rates.
+
+An SLO turns a metric stream into a judgment: *is the service holding
+its promise right now?*  Three kinds, each defined by one number:
+
+* ``p99:<seconds>``          — 99% of requests complete within the
+  threshold.  Violation fraction = requests slower than the threshold;
+  the implied error budget is the residual 1%.
+* ``error-rate:<fraction>``  — failed requests stay under the budget
+  fraction (e.g. ``error-rate:0.01`` = 1% budget).
+* ``availability:<target>``  — success fraction stays above the target
+  (``availability:0.999`` is exactly ``error-rate:0.001``).
+
+**Burn rate** is the classic normalization: *observed violation
+fraction / budgeted fraction*.  Burn 1.0 = spending the budget exactly
+as fast as allowed; 10 = ten times too fast.  Evaluation is
+**multi-window** (Google SRE workbook shape): each SLO is computed
+over a short and a long trailing window of a
+:class:`~repro.telemetry.timeseries.TimeSeriesRing`, and **violates
+only when every window burns past the threshold** — the short window
+proves it is happening *now*, the long window proves it is not a blip.
+A window with no observations contributes no evidence (burn 0).
+
+``aurora-sim loadgen --slo`` evaluates these against its own request
+stream and exits ``EXIT_SLO_VIOLATION`` (6) on failure, giving CI a
+serving-quality gate with the same shape as ``perf --check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.timeseries import (
+    TimeSeriesRing,
+    delta,
+    fraction_over,
+)
+
+#: Default (short, long) trailing evaluation windows, seconds.  Short
+#: for "is it burning now", long for "is it sustained"; both clip to
+#: the ring's actual span, so brief CI runs still evaluate.
+DEFAULT_WINDOWS = (15.0, 60.0)
+
+#: The latency objective: p99 means 1% of requests may exceed the
+#: threshold before the budget burns at rate 1.0.
+P99_BUDGET = 0.01
+
+_KINDS = ("p99", "error-rate", "availability")
+
+
+class SLOError(ValueError):
+    """An SLO spec is malformed; names the token and the grammar."""
+
+
+@dataclass(frozen=True)
+class SLODef:
+    """One declarative objective (see module docstring for kinds)."""
+
+    kind: str
+    threshold: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}:{self.threshold:g}"
+
+    @property
+    def budget(self) -> float:
+        """Budgeted violation fraction (the burn-rate denominator)."""
+        if self.kind == "p99":
+            return P99_BUDGET
+        if self.kind == "error-rate":
+            return self.threshold
+        return 1.0 - self.threshold  # availability
+
+
+def parse_slo(spec: str) -> SLODef:
+    """Parse one ``kind:value`` token into an :class:`SLODef`."""
+    kind, sep, raw = spec.partition(":")
+    kind = kind.strip().lower()
+    if not sep or kind not in _KINDS:
+        raise SLOError(
+            f"SLO spec {spec!r}: expected kind:value with kind in "
+            f"{'/'.join(_KINDS)}"
+        )
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SLOError(
+            f"SLO spec {spec!r}: {raw!r} is not a number"
+        ) from None
+    if kind == "p99" and value <= 0:
+        raise SLOError(f"SLO spec {spec!r}: latency threshold must be > 0")
+    if kind == "error-rate" and not 0 < value < 1:
+        raise SLOError(
+            f"SLO spec {spec!r}: error budget must be in (0, 1)"
+        )
+    if kind == "availability" and not 0 < value < 1:
+        raise SLOError(
+            f"SLO spec {spec!r}: availability target must be in (0, 1)"
+        )
+    return SLODef(kind, value)
+
+
+@dataclass
+class SLOResult:
+    """One SLO's evaluation: per-window burn rates and the verdict."""
+
+    slo: SLODef
+    violated: bool
+    burn_rates: dict = field(default_factory=dict)
+    observations: float = 0.0
+
+    def render(self) -> str:
+        burns = " ".join(
+            f"burn[{seconds:g}s]={burn:.2f}"
+            for seconds, burn in sorted(self.burn_rates.items())
+        )
+        verdict = "VIOLATED" if self.violated else "ok"
+        return (
+            f"slo {self.slo.name:<22} {verdict:<8} {burns} "
+            f"(n={self.observations:g})"
+        )
+
+
+def _violation_fraction(
+    slo: SLODef,
+    ring: TimeSeriesRing,
+    seconds: float,
+    *,
+    prefix: str,
+) -> tuple[float, float]:
+    """``(violation_fraction, observations)`` for one window."""
+    if slo.kind == "p99":
+        hist = f"{prefix}.latency_seconds"
+        count = delta(ring, f"{hist}.count", seconds)
+        if count <= 0:
+            return 0.0, 0.0
+        return fraction_over(ring, hist, slo.threshold, seconds), count
+    requests = delta(ring, f"{prefix}.requests", seconds)
+    if requests <= 0:
+        return 0.0, 0.0
+    errors = delta(ring, f"{prefix}.errors", seconds)
+    return min(1.0, errors / requests), requests
+
+
+def evaluate_slos(
+    slos: list[SLODef],
+    ring: TimeSeriesRing,
+    *,
+    prefix: str = "loadgen",
+    windows: tuple[float, ...] = DEFAULT_WINDOWS,
+    burn_threshold: float = 1.0,
+) -> list[SLOResult]:
+    """Evaluate every SLO over the ring's trailing windows.
+
+    ``prefix`` names the instrument family (``<prefix>.requests``,
+    ``<prefix>.errors``, ``<prefix>.latency_seconds``).  Windows longer
+    than the ring's span clip to it (two distinct windows may then see
+    identical data — harmless, the conjunction still holds).  An SLO is
+    ``violated`` only when its burn rate exceeds ``burn_threshold`` in
+    *every* window that has observations, and at least one does.
+    """
+    span = ring.span_seconds()
+    effective = sorted({min(w, span) if span > 0 else w for w in windows})
+    results = []
+    for slo in slos:
+        burns: dict[float, float] = {}
+        total_observations = 0.0
+        hot = []
+        for seconds in effective:
+            fraction, observations = _violation_fraction(
+                slo, ring, seconds, prefix=prefix
+            )
+            burn = fraction / slo.budget if slo.budget > 0 else 0.0
+            burns[seconds] = burn
+            total_observations = max(total_observations, observations)
+            if observations > 0:
+                hot.append(burn > burn_threshold)
+        violated = bool(hot) and all(hot)
+        results.append(
+            SLOResult(
+                slo,
+                violated,
+                burn_rates=burns,
+                observations=total_observations,
+            )
+        )
+    return results
+
+
+def render_results(results: list[SLOResult]) -> str:
+    return "\n".join(result.render() for result in results)

@@ -1,0 +1,292 @@
+"""Bounded metric time series: the registry, sampled over wall time.
+
+A :class:`MetricsRegistry` is a point-in-time snapshot; production
+questions ("what is the request rate *now*?  did p99 spike in the last
+minute?") need history.  :class:`TimeSeriesRing` is the smallest thing
+that answers them:
+
+* :func:`sample_registry` flattens a registry into one flat
+  ``{name: value}`` map — counters and gauges as-is, histograms as
+  ``<name>.count`` / ``<name>.sum`` plus per-bound cumulative
+  ``<name>.bucket.<le>`` values (so *windowed* bucket deltas can
+  re-derive quantiles over any interval, not just since process start).
+* The ring keeps the last ``capacity`` samples in memory and can
+  mirror each appended sample to a JSONL file: one ``write()`` of one
+  line on an append-mode handle, flushed — a crash can tear at most
+  the final line, and :meth:`TimeSeriesRing.load` tolerates exactly
+  that (torn/corrupt lines are counted in ``malformed``, never raised).
+* :func:`delta` / :func:`rate` / :func:`quantile_over_window` are the
+  window readers the SLO layer and the ``top`` dashboard build on.
+
+Sampling is strictly opt-in (the serve loop only starts a sampler task
+when ``--sample-interval`` is positive), preserving the repo-wide
+zero-overhead-off contract.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import threading
+import time
+from collections import deque
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Default ring capacity: at one sample per second, ~forty minutes.
+DEFAULT_CAPACITY = 2048
+
+
+def sample_registry(
+    registry: MetricsRegistry, *, now: float | None = None
+) -> dict:
+    """One sample: ``{"t": epoch_seconds, "values": {name: number}}``."""
+    snapshot = registry.as_dict()
+    values: dict[str, float] = {}
+    values.update(snapshot["counters"])
+    for name, value in snapshot["gauges"].items():
+        if value is not None and math.isfinite(value):
+            values[name] = value
+    for name, hist in snapshot["histograms"].items():
+        values[f"{name}.count"] = hist["count"]
+        values[f"{name}.sum"] = hist["sum"]
+        for bound, count in hist["buckets"].items():
+            values[f"{name}.bucket.{bound}"] = count
+    return {"t": time.time() if now is None else now, "values": values}
+
+
+class TimeSeriesRing:
+    """The last ``capacity`` registry samples, optionally persisted.
+
+    Thread-safe: the serve sampler appends from the event loop while
+    ``/timeseries`` scrapes and SLO evaluation read concurrently.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        path: str | pathlib.Path | None = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(
+                f"ring capacity must be >= 2 (deltas need two samples), "
+                f"got {capacity}"
+            )
+        self.capacity = capacity
+        self.path = pathlib.Path(path) if path is not None else None
+        self.malformed = 0
+        self._samples: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._handle = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+
+    # ---------------------------------------------------------- writing
+
+    def append(self, sample: dict) -> None:
+        """Record one sample; mirror it to the JSONL file if persisted."""
+        with self._lock:
+            self._samples.append(sample)
+            if self._handle is not None:
+                try:
+                    self._handle.write(
+                        json.dumps(sample, separators=(",", ":")) + "\n"
+                    )
+                    self._handle.flush()
+                except OSError:
+                    # A full disk degrades persistence, never sampling.
+                    pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "TimeSeriesRing":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- reading
+
+    def samples(self) -> list[dict]:
+        with self._lock:
+            return list(self._samples)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def latest(self) -> dict | None:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    def window(self, seconds: float) -> list[dict]:
+        """Samples within ``seconds`` of the newest one (oldest first)."""
+        with self._lock:
+            if not self._samples:
+                return []
+            horizon = self._samples[-1]["t"] - seconds
+            return [s for s in self._samples if s["t"] >= horizon]
+
+    def span_seconds(self) -> float:
+        """Wall-time distance between the oldest and newest samples."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return 0.0
+            return self._samples[-1]["t"] - self._samples[0]["t"]
+
+    # ------------------------------------------------------------ reload
+
+    @classmethod
+    def load(
+        cls,
+        path: str | pathlib.Path,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        persist: bool = False,
+    ) -> "TimeSeriesRing":
+        """Rebuild a ring from a JSONL file, tolerating a torn tail.
+
+        Malformed lines (a crash mid-``write``, external truncation)
+        are skipped and counted in ``malformed`` — a reload never
+        raises over history damage.  ``persist=True`` keeps appending
+        to the same file.
+        """
+        path = pathlib.Path(path)
+        ring = cls(capacity, path=path if persist else None)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return ring
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                sample = json.loads(line)
+            except json.JSONDecodeError:
+                ring.malformed += 1
+                continue
+            if (
+                not isinstance(sample, dict)
+                or not isinstance(sample.get("t"), (int, float))
+                or not isinstance(sample.get("values"), dict)
+            ):
+                ring.malformed += 1
+                continue
+            ring._samples.append(sample)
+        return ring
+
+
+# --------------------------------------------------------- window readers
+
+
+def delta(ring: TimeSeriesRing, name: str, seconds: float) -> float:
+    """Increase of a cumulative value over the trailing window."""
+    window = ring.window(seconds)
+    if len(window) < 2:
+        return 0.0
+    first = window[0]["values"].get(name, 0.0)
+    last = window[-1]["values"].get(name, 0.0)
+    return max(0.0, last - first)
+
+
+def rate(ring: TimeSeriesRing, name: str, seconds: float) -> float:
+    """Per-second increase of a cumulative value over the window."""
+    window = ring.window(seconds)
+    if len(window) < 2:
+        return 0.0
+    elapsed = window[-1]["t"] - window[0]["t"]
+    if elapsed <= 0:
+        return 0.0
+    first = window[0]["values"].get(name, 0.0)
+    last = window[-1]["values"].get(name, 0.0)
+    return max(0.0, last - first) / elapsed
+
+
+def bucket_deltas(
+    ring: TimeSeriesRing, hist_name: str, seconds: float
+) -> tuple[list[tuple[float, float]], float]:
+    """``([(bound, cumulative_delta)...], count_delta)`` over a window.
+
+    Bounds come back sorted; deltas are cumulative (like the live
+    histogram), clamped non-negative.
+    """
+    window = ring.window(seconds)
+    if len(window) < 2:
+        return [], 0.0
+    first, last = window[0]["values"], window[-1]["values"]
+    prefix = f"{hist_name}.bucket."
+    bounds = []
+    for key in last:
+        if key.startswith(prefix):
+            try:
+                bounds.append(float(key[len(prefix):]))
+            except ValueError:
+                continue
+    series = [
+        (
+            bound,
+            max(
+                0.0,
+                last.get(f"{prefix}{bound}", 0.0)
+                - first.get(f"{prefix}{bound}", 0.0),
+            ),
+        )
+        for bound in sorted(bounds)
+    ]
+    count = max(
+        0.0,
+        last.get(f"{hist_name}.count", 0.0)
+        - first.get(f"{hist_name}.count", 0.0),
+    )
+    return series, count
+
+
+def quantile_over_window(
+    ring: TimeSeriesRing, hist_name: str, fraction: float, seconds: float
+) -> float:
+    """Nearest-rank quantile from windowed bucket deltas (0 if empty).
+
+    The same derivation as :meth:`Histogram.quantile`, applied to the
+    *window's* observations instead of everything since process start —
+    what an SLO over "the last N seconds" actually wants.
+    """
+    series, count = bucket_deltas(ring, hist_name, seconds)
+    if not series or count <= 0:
+        return 0.0
+    rank = max(1.0, math.ceil(fraction * count))
+    for bound, cumulative in series:
+        if cumulative >= rank:
+            return bound
+    return series[-1][0]
+
+
+def fraction_over(
+    ring: TimeSeriesRing, hist_name: str, threshold: float, seconds: float
+) -> float:
+    """Fraction of windowed observations strictly above ``threshold``.
+
+    Resolution is bucket granularity: observations in the first bucket
+    whose bound is ``>= threshold`` count as *within* threshold (the
+    conservative reading for latency SLOs).
+    """
+    series, count = bucket_deltas(ring, hist_name, seconds)
+    if not series or count <= 0:
+        return 0.0
+    within = 0.0
+    for bound, cumulative in series:
+        if bound >= threshold:
+            within = cumulative
+            break
+    else:
+        within = count
+    return max(0.0, count - within) / count

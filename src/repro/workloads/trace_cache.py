@@ -86,6 +86,9 @@ from repro.func.trace import (
     load_trace_array,
     save_trace_array,
 )
+from repro.telemetry.logging import get_logger
+
+_log = get_logger("trace_cache")
 
 #: Default cache location (relative to the working directory).
 DEFAULT_ROOT = pathlib.Path("results") / ".trace_cache"
@@ -223,6 +226,7 @@ class TraceCache:
         cannot be served again.  Either way the next build re-stores.
         """
         self.quarantined += 1
+        _log.warning("cache.quarantined", path=path.name)
         quarantine_root = self.root / QUARANTINE_DIR
         for victim in (path, self.sidecar_for(path)):
             if not victim.exists():
@@ -267,6 +271,14 @@ class TraceCache:
             return True
         if crc != want_crc or size != want_size:
             self.checksum_failures += 1
+            _log.warning(
+                "cache.checksum_failure",
+                path=path.name,
+                want_crc=f"{want_crc:08x}",
+                got_crc=f"{crc:08x}",
+                want_size=want_size,
+                got_size=size,
+            )
             self._quarantine(path)
             return False
         self._verified.add(path)
@@ -289,9 +301,10 @@ class TraceCache:
             return None
         try:
             _chaos_check("cache.load")
-        except OSError:
+        except OSError as error:
             self.degraded += 1
             self.misses += 1
+            _log.warning("cache.load_degraded", why=str(error))
             return None
         path = self.path_for(name, scale)
         if path.exists() and self._verify_entry(path):
@@ -379,8 +392,11 @@ class TraceCache:
                     tmp.replace(path)
                 finally:
                     pathlib.Path(tmp_name).unlink(missing_ok=True)
-            except (OSError, TraceIOError):
+            except (OSError, TraceIOError) as error:
                 self.degraded += 1
+                _log.warning(
+                    "cache.store_degraded", path=path.name, why=str(error)
+                )
                 return
         self._write_sidecar(self.sidecar_for(path), crc, size)
         self._verified.add(path)

@@ -158,6 +158,45 @@ class TestCacheIntegrity:
         assert healed is not None
         assert np.array_equal(np.asarray(healed.array), original)
 
+    def test_checksum_failure_emits_correlated_json_log(self, tmp_path):
+        """A bitflipped entry produces a parseable structured log line
+        carrying the active trace_id (docs/OBSERVABILITY.md)."""
+        from repro.telemetry import logging as structlog
+        from repro.telemetry import tracing
+        from repro.telemetry.logging import read_log
+        from repro.telemetry.tracing import SpanTracer
+
+        writer = TraceCache(tmp_path / "cache")
+        writer.store("w", 4, _array(seed=5))
+        path = writer.path_for("w", 4)
+        assert chaos.bitflip_file(path, seed=1)
+
+        log_path = tmp_path / "log.jsonl"
+        structlog.configure(str(log_path))
+        tracer = SpanTracer("cafecafe0001")
+        tracing.set_tracer(tracer)
+        try:
+            with tracer.span("experiment", "chaos-smoke"):
+                reader = TraceCache(tmp_path / "cache")
+                assert reader.load("w", 4) is None
+        finally:
+            tracing.set_tracer(None)
+            structlog.shutdown()
+
+        records = read_log(log_path)  # every line must be valid JSON
+        events = [r["event"] for r in records]
+        assert "cache.checksum_failure" in events
+        assert "cache.quarantined" in events
+        failure = next(
+            r for r in records if r["event"] == "cache.checksum_failure"
+        )
+        assert failure["component"] == "trace_cache"
+        assert failure["level"] == "WARNING"
+        assert failure["path"] == path.name
+        assert failure["want_crc"] != failure["got_crc"]
+        assert failure["trace_id"] == "cafecafe0001"
+        assert failure["span_id"]
+
     def test_truncation_detected_as_corruption(self, tmp_path):
         writer = TraceCache(tmp_path)
         writer.store("w", 4, _array())

@@ -69,7 +69,10 @@ class TestLoadReport:
             error_samples=["HTTP 400: b'...'"],
         )
         assert report.throughput == 2.0
-        assert report.p50_ms == 30.0
+        # Bucket-resolution quantile over LATENCY_BUCKETS: the rank-3
+        # sample (0.030) lands in the 0.050 le-bucket, clamped to the
+        # observed max — identical derivation to the server's histogram.
+        assert report.p50_ms == 50.0
         text = report.render()
         assert "requests" in text and "latency p99" in text
         assert "error sample: HTTP 400" in text

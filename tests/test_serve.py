@@ -434,6 +434,138 @@ class TestServerEndToEnd:
         assert metrics["gauges"]["serve.latency_p50_seconds"] > 0
 
 
+class TestObservabilityRoutes:
+    def _get_raw(self, port: int, path: str) -> tuple[int, str, bytes]:
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", port, timeout=60.0
+        )
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            return (
+                response.status,
+                response.getheader("Content-Type", ""),
+                response.read(),
+            )
+        finally:
+            connection.close()
+
+    def test_prom_exposition_parses(self, server):
+        from repro.telemetry.prom import parse_prom
+
+        _post(server.port, _grid_queries(1)[0])
+        status, content_type, body = self._get_raw(
+            server.port, "/metrics?format=prom"
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        doc = parse_prom(body.decode())
+        assert doc["types"]["serve_requests_total"] == "counter"
+        assert doc["samples"]["serve_queries_total"] >= 1
+        assert doc["types"]["serve_latency_seconds"] == "histogram"
+        assert doc["samples"]['serve_latency_seconds_bucket{le="+Inf"}'] == (
+            doc["samples"]["serve_latency_seconds_count"]
+        )
+
+    def test_readyz_ready(self, server):
+        status, body = _get(server.port, "/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+
+    def test_readyz_not_ready_before_start(self, tmp_path):
+        from repro.serve.batcher import QueryBatcher
+        from repro.serve.server import ServeApp
+        from repro.telemetry.metrics import MetricsRegistry
+
+        store = MemoStore(tmp_path / "memo")
+        metrics = MetricsRegistry()
+        batcher = QueryBatcher(store, metrics, window=0.01)
+        try:
+            app = ServeApp(store, batcher, metrics)
+            status, payload = app.readyz_payload()
+            assert status == 503
+            assert payload["status"] == "starting"
+            app.mark_ready()
+            assert app.readyz_payload()[0] == 200
+        finally:
+            batcher.executor.shutdown(wait=False)
+
+    def test_timeseries_route(self, server):
+        import time
+
+        _post(server.port, _grid_queries(1)[0])
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, body = _get(server.port, "/timeseries")
+            assert status == 200
+            assert body["sampling"] is True
+            if body["samples"]:
+                break
+            time.sleep(0.2)
+        sample = body["samples"][-1]
+        assert "serve.requests" in sample["values"]
+        assert "serve.latency_seconds.count" in sample["values"]
+
+    def test_top_renders_against_live_server(self, server):
+        import io
+
+        from repro.serve.top import run_top
+
+        _post(server.port, _grid_queries(1)[0])
+        out = io.StringIO()
+        rc = run_top(
+            server.url, interval=0.05, iterations=2, stream=out, clear=False
+        )
+        assert rc == 0
+        text = out.getvalue()
+        assert "aurora-sim top" in text
+        for label in ("req/s", "p99 ms", "memo hit %", "batch width"):
+            assert label in text
+        assert text.count("aurora-sim top") == 2  # two frames, no clear
+
+    def test_top_unreachable_raises(self):
+        from repro.serve.top import TopError, run_top
+
+        with pytest.raises(TopError, match="cannot scrape"):
+            run_top("http://127.0.0.1:1", iterations=1, clear=False)
+
+
+class TestLoadgenSLOExitCodes:
+    def _drive(self, server, *slo_flags) -> int:
+        from repro.experiments.cli import main
+
+        return main(
+            [
+                "loadgen",
+                "--url",
+                server.url,
+                "--count",
+                "4",
+                "--factor",
+                str(FACTOR),
+                "--concurrency",
+                "2",
+                *slo_flags,
+            ]
+        )
+
+    def test_generous_slos_exit_ok(self, server, capsys):
+        rc = self._drive(
+            server, "--slo", "p99:300", "--slo", "error-rate:0.99"
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "slo p99:300" in out and "ok" in out
+
+    def test_impossible_slo_exits_6(self, server, capsys):
+        from repro.experiments.exit_codes import EXIT_SLO_VIOLATION
+
+        rc = self._drive(server, "--slo", "p99:0.000001")
+        out = capsys.readouterr().out
+        assert rc == EXIT_SLO_VIOLATION == 6, out
+        assert "VIOLATED" in out
+
+
 def _espresso_scale(factor: float) -> int:
     from repro.experiments.common import _MIN_SCALES
     from repro.workloads.registry import get_spec
