@@ -186,3 +186,14 @@ def machine_cost(config: MachineConfig, include_fpu: bool = False) -> CostBreakd
         for name, cost in fpu_cost(config.fpu).items.items():
             breakdown.add("FPU " + name, cost)
     return breakdown
+
+
+def total_cost(config: MachineConfig, include_fpu: bool = False) -> float:
+    """Scalar RBE total for one machine point.
+
+    The single number every cost/CPI plot and frontier ranks on —
+    Figure 8 and the guided explorer both call this instead of summing
+    IPU and FPU breakdowns themselves, so "the cost of a config" has
+    exactly one definition.
+    """
+    return machine_cost(config, include_fpu=include_fpu).total

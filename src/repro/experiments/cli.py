@@ -7,7 +7,12 @@ Subcommands::
     aurora-sim experiments [--only fig4 table6 ...] [--factor 0.5] [--out d/]
                            [--trace sweep-trace.json] [--kernel batched]
     aurora-sim trace <workload> [--factor 0.05] [--out trace.ndjson]
-    aurora-sim report <trace.ndjson> [--window 1000]
+    aurora-sim report <trace.ndjson> [--window 1000] [--occupancy-out o.json]
+    aurora-sim explore [workload] [--space fig8] [--factor 0.05]
+                       [--budget 0.5] [--jobs 2] [--kernel batched]
+                       [--validate] [--out explore.json]
+                       [--metrics-out m.json] [--trace spans.json]
+                       [--history BENCH_history.json] [--check]
     aurora-sim spans <sweep-trace.json> [--min-ms 0.1]
     aurora-sim perf <workload> [--factor 0.05] [--check] [--seed-baseline]
                     [--trace-path prepared|tuples] [--kernel scalar|batched]
@@ -55,6 +60,7 @@ from repro.experiments.exit_codes import (
     EXIT_ERROR,
     EXIT_INTERRUPTED,
     EXIT_OK,
+    EXIT_PARTIAL,
     EXIT_PERF_REGRESSION,
     EXIT_SLO_VIOLATION,
     EXIT_USAGE,
@@ -192,14 +198,201 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Summarise a previously captured NDJSON event trace."""
-    from repro.telemetry import load_ndjson, render_summary
+    import json
+
+    from repro.telemetry import load_ndjson, occupancy_export, render_summary
 
     events = load_ndjson(args.trace)
     print(f"trace:  {args.trace}")
     print(f"events: {len(events)}")
+    if args.occupancy_out:
+        document = occupancy_export(events)
+        with open(args.occupancy_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"occupancy: {args.occupancy_out}")
     print()
     print(render_summary(events, window=args.window))
     return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Model-guided Pareto exploration of a named config space.
+
+    Calibrates the analytic CPI estimator, simulates only the
+    predicted-frontier band (docs/EXPLORATION.md), and reports the
+    simulated Pareto frontier.  ``--validate`` additionally simulates
+    the *entire* space and asserts the guided frontier matches the
+    exhaustive one (exit 1 when it does not); ``--history``/``--check``
+    track a ``mode="explore"`` series in BENCH_history.json.  Exits 4
+    when the simulation budget ran out before the frontier stabilised.
+    """
+    import json
+    import time
+
+    from repro.core.kernel import simulate_many
+    from repro.explore import ExploreError, explore, get_space
+    from repro.explore.model import ModelReport
+    from repro.explore.pareto import frontier_indices
+    from repro.explore.space import SpaceError
+    from repro.experiments.common import scaled_trace
+    from repro.telemetry import MetricsRegistry, tracing
+    from repro.telemetry.baseline import BaselineError, PerfHistory, git_sha
+    from repro.workloads import trace_cache
+
+    try:
+        candidates = get_space(args.space)
+    except SpaceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    trace = scaled_trace(args.workload, args.factor)
+    registry = MetricsRegistry()
+    tracer = None
+    if args.trace:
+        tracer = tracing.SpanTracer()
+    base_hits, base_misses = trace_cache.snapshot()
+    started = time.perf_counter()
+    try:
+        with tracing.use_tracer(tracer):
+            result = explore(
+                candidates,
+                trace,
+                workload=args.workload,
+                factor=args.factor,
+                budget=args.budget,
+                safety=args.safety,
+                kernel=args.kernel,
+                jobs=args.jobs,
+                metrics=registry,
+            )
+            validation = None
+            if args.validate:
+                exhaustive = simulate_many(
+                    trace,
+                    [c.config for c in candidates],
+                    kernel=args.kernel,
+                )
+                validation = _explore_validation(
+                    result, [r.stats for r in exhaustive], ModelReport,
+                    frontier_indices,
+                )
+    except ExploreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    wall = time.perf_counter() - started
+    hits, misses = trace_cache.snapshot()
+    if tracer is not None:
+        tracer.write_chrome(args.trace)
+        print(f"spans: {args.trace}")
+    print(result.render())
+    if validation is not None:
+        grid = validation["grid_model"]
+        registry.gauge("explore.grid_mean_rel_error").set(
+            grid["mean_rel_error"]
+        )
+        verdict = "MATCH" if validation["frontier_match"] else "MISMATCH"
+        print()
+        print(
+            f"validation: exhaustive frontier {verdict} "
+            f"(grid model error: mean {grid['mean_rel_error'] * 100:.1f}%, "
+            f"max {grid['max_rel_error'] * 100:.1f}%, "
+            f"rank correlation {grid['rank_correlation']:.3f})"
+        )
+        if not validation["frontier_match"]:
+            print(
+                "  guided:     " + ", ".join(result.frontier_labels()),
+            )
+            print(
+                "  exhaustive: "
+                + ", ".join(validation["exhaustive_frontier"]),
+            )
+    if args.metrics_out:
+        registry.write_json(args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+    if args.out:
+        document = result.to_dict()
+        if validation is not None:
+            document["validation"] = validation
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"summary: {args.out}")
+    status = EXIT_OK
+    if args.history:
+        record = {
+            "git_sha": git_sha(),
+            "recorded_at": time.time(),
+            "workload": args.workload,
+            "factor": args.factor,
+            "config": f"space:{args.space}",
+            "instructions": result.sim_instructions,
+            "sim_cycles": result.sim_cycles,
+            "wall_seconds": wall,
+            "cycles_per_second": result.sim_cycles / wall if wall > 0 else 0.0,
+            "instructions_per_second": (
+                result.sim_instructions / wall if wall > 0 else 0.0
+            ),
+            "cache_hits": max(hits - base_hits, 0),
+            "cache_misses": max(misses - base_misses, 0),
+            "trace_path": "prepared",
+            "kernel": result.kernel,
+            "mode": "explore",
+            "configs_considered": result.configs_considered,
+            "configs_simulated": result.configs_simulated,
+            "model_mean_rel_error": result.model.mean_rel_error,
+        }
+        history = PerfHistory(args.history)
+        try:
+            history.append(record)
+            if args.seed_baseline:
+                history.seed_baseline(record)
+        except BaselineError as error:
+            print(f"perf history: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"perf history: {history.path} (explore-mode record appended)")
+        if args.check:
+            try:
+                check = history.compare(record, threshold=args.threshold)
+            except BaselineError as error:
+                print(f"perf check: {error}", file=sys.stderr)
+                return EXIT_USAGE
+            print(f"perf check: {check.render()}")
+            if check.regressed:
+                status = EXIT_PERF_REGRESSION
+    if validation is not None and not validation["frontier_match"]:
+        return EXIT_ERROR
+    if result.budget_exhausted:
+        return EXIT_PARTIAL
+    return status
+
+
+def _explore_validation(result, grid_stats, report_cls, frontier_fn) -> dict:
+    """Compare a guided result against exhaustive stats for the space."""
+    live = [
+        (point, stats)
+        for point, stats in zip(result.points, grid_stats)
+        if stats.instructions
+    ]
+    chosen = frontier_fn([(p.cost, s.cpi) for p, s in live])
+    exhaustive = sorted(
+        (live[i][0] for i in chosen), key=lambda p: p.cost
+    )
+    grid = report_cls.from_pairs(
+        [(p.predicted_cpi, s.cpi) for p, s in live]
+    )
+    return {
+        "exhaustive_frontier": [p.label for p in exhaustive],
+        "frontier_match": (
+            sorted(p.label for p in exhaustive)
+            == sorted(result.frontier_labels())
+        ),
+        "grid_model": {
+            "count": grid.count,
+            "mean_rel_error": grid.mean_rel_error,
+            "max_rel_error": grid.max_rel_error,
+            "rank_correlation": grid.rank_corr,
+        },
+    }
 
 
 def cmd_spans(args: argparse.Namespace) -> int:
@@ -475,7 +668,64 @@ def main(argv: list[str] | None = None) -> int:
     p_report.add_argument("trace")
     p_report.add_argument("--window", type=positive_int, default=1000,
                           help="CPI phase-summary window (cycles)")
+    p_report.add_argument("--occupancy-out", default=None, metavar="PATH",
+                          dest="occupancy_out",
+                          help="write per-structure occupancy summaries "
+                               "(mean/p50/p90/p99/max + histogram) as "
+                               "stable JSON — the explorer's calibration "
+                               "inputs, inspectable offline")
     p_report.set_defaults(func=cmd_report)
+
+    p_explore = sub.add_parser(
+        "explore", help="model-guided Pareto exploration of a config space"
+    )
+    p_explore.add_argument("workload", nargs="?", default="espresso")
+    p_explore.add_argument("--space", default="fig8",
+                           help="candidate space to explore "
+                                "(fig8 = the paper's 58-config grid; "
+                                "fig8-L17 = its 17-cycle half)")
+    p_explore.add_argument("--factor", type=positive_float, default=1.0,
+                           help="workload scale factor (as in "
+                                "'experiments')")
+    p_explore.add_argument("--budget", type=positive_float, default=0.5,
+                           help="max fraction of the space to simulate, "
+                                "calibration runs included (exit 4 when "
+                                "exhausted before the frontier settles)")
+    p_explore.add_argument("--safety", type=positive_float, default=1.5,
+                           help="uncertainty-margin multiplier on the "
+                                "worst observed model residual")
+    p_explore.add_argument("--jobs", type=positive_int, default=1,
+                           help="process-pool workers for each "
+                                "refinement round's band")
+    p_explore.add_argument("--kernel", choices=KERNEL_NAMES, default=None,
+                           help="simulation kernel for probe/band "
+                                "batches (default follows "
+                                "REPRO_SIM_KERNEL)")
+    p_explore.add_argument("--validate", action="store_true",
+                           help="also simulate the whole space; report "
+                                "full-grid model error and exit 1 "
+                                "unless the guided frontier matches "
+                                "the exhaustive one exactly")
+    p_explore.add_argument("--out", default=None, metavar="PATH",
+                           help="write the exploration summary "
+                                "(points, frontier, model error) as JSON")
+    p_explore.add_argument("--metrics-out", default=None, metavar="PATH",
+                           dest="metrics_out",
+                           help="write explore.* metrics JSON")
+    p_explore.add_argument("--trace", default=None, metavar="PATH",
+                           help="export calibration/round spans as "
+                                "Chrome trace-event JSON (see 'spans')")
+    p_explore.add_argument("--history", default=None, metavar="PATH",
+                           help="append a mode=\"explore\" record to "
+                                "this BENCH_history.json")
+    p_explore.add_argument("--seed-baseline", action="store_true",
+                           help="promote this run to the stored baseline")
+    p_explore.add_argument("--check", action="store_true",
+                           help="compare throughput against the stored "
+                                "baseline; exit 3 on regression")
+    p_explore.add_argument("--threshold", type=float, default=0.20,
+                           help="regression threshold as a fraction")
+    p_explore.set_defaults(func=cmd_explore)
 
     p_spans = sub.add_parser(
         "spans", help="render a sweep span trace as a text tree"

@@ -1,0 +1,51 @@
+"""Cost/CPI dominance and the non-dominated (Pareto) frontier.
+
+Both axes are minimised: a point dominates another when it is no worse
+on both cost and CPI and strictly better on at least one.  Ties are
+kept — two configs landing on the exact same (cost, CPI) point are both
+non-dominated — because deterministic simulation really does produce
+equal CPIs for configs whose differing resource is never exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Slack for float comparisons: RBE totals are sums of exact table
+#: entries and CPIs are ratios of exact integers, so anything closer
+#: than this is the same point, not a dominance relation.
+EPSILON = 1e-9
+
+
+def dominates(
+    a: tuple[float, float], b: tuple[float, float], *, epsilon: float = EPSILON
+) -> bool:
+    """True when point ``a`` strictly dominates ``b`` (minimising both).
+
+    Points are ``(cost, cpi)`` pairs.  Equal points never dominate each
+    other.
+    """
+    a_cost, a_cpi = a
+    b_cost, b_cpi = b
+    if a_cost > b_cost + epsilon or a_cpi > b_cpi + epsilon:
+        return False
+    return a_cost < b_cost - epsilon or a_cpi < b_cpi - epsilon
+
+
+def frontier_indices(
+    points: Sequence[tuple[float, float]], *, epsilon: float = EPSILON
+) -> list[int]:
+    """Indices of the non-dominated ``(cost, cpi)`` points, in input order.
+
+    O(n^2) pairwise sweep — the spaces this repo ranks are tens of
+    points, and the quadratic form keeps the tie semantics obvious.
+    """
+    return [
+        i
+        for i, candidate in enumerate(points)
+        if not any(
+            dominates(other, candidate, epsilon=epsilon)
+            for j, other in enumerate(points)
+            if j != i
+        )
+    ]

@@ -1,0 +1,78 @@
+"""Named candidate spaces for the guided explorer.
+
+A space is a list of :class:`Candidate` points — labelled
+:class:`~repro.core.config.MachineConfig` machine points, optionally
+carrying the paper's A–E markers.  The registry keeps CLI space specs
+(``aurora-sim explore --space fig8``) decoupled from how each space is
+enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+
+
+class SpaceError(ValueError):
+    """An unknown space name or an unenumerable space."""
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One labelled point of a design space."""
+
+    label: str
+    config: MachineConfig
+    marker: str = ""  # the paper's A-E annotations, where applicable
+
+
+def fig8_space(latencies: tuple[int, ...] = (17, 21)) -> list[Candidate]:
+    """The paper's Figure 8 grid: the 29-point catalogue per latency.
+
+    At the default latencies this is the full 58-config sweep the paper
+    ran (Section 5.9 re-examines the space at 21-cycle memory): every
+    catalogue point at 17 cycles, plus a ``label@L21`` twin.  Markers
+    ride only on the 17-cycle points — that is the figure they annotate.
+    """
+    from repro.experiments.fig8_design_space import design_points
+
+    candidates: list[Candidate] = []
+    for latency in latencies:
+        for label, config, marker in design_points():
+            if latency == 17:
+                candidates.append(Candidate(label, config, marker))
+            else:
+                candidates.append(
+                    Candidate(
+                        f"{label}@L{latency}",
+                        config.with_latency(latency),
+                    )
+                )
+    return candidates
+
+
+_SPACES = {
+    "fig8": lambda: fig8_space(),
+    "fig8-L17": lambda: fig8_space(latencies=(17,)),
+}
+
+
+def space_names() -> tuple[str, ...]:
+    return tuple(sorted(_SPACES))
+
+
+def get_space(name: str) -> list[Candidate]:
+    """Enumerate a named space; raises :class:`SpaceError` when unknown."""
+    try:
+        builder = _SPACES[name]
+    except KeyError:
+        raise SpaceError(
+            f"unknown space {name!r}; expected one of "
+            + ", ".join(space_names())
+        ) from None
+    candidates = builder()
+    labels = [c.label for c in candidates]
+    if len(set(labels)) != len(labels):
+        raise SpaceError(f"space {name!r} has duplicate labels")
+    return candidates

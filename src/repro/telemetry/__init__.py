@@ -36,7 +36,9 @@ from repro.telemetry.analysis import (  # noqa: F401
     fpu_queue_occupancy,
     interval_cpi,
     mshr_occupancy,
+    occupancy_export,
     occupancy_histogram,
+    occupancy_summaries,
     render_summary,
     stall_breakdown,
     stall_timeline,

@@ -196,6 +196,19 @@ class OccupancyHistogram:
             f"(over {self.total_cycles:,} cycles)"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the per-structure half of the export
+        schema documented at :func:`occupancy_export`)."""
+        return {
+            "mean": self.time_weighted_mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max_occupancy,
+            "total_cycles": self.total_cycles,
+            "cycles_at": {str(n): c for n, c in sorted(self.cycles_at.items())},
+        }
+
 
 def occupancy_histogram(
     events: Iterable[Event],
@@ -273,6 +286,57 @@ def writecache_occupancy(events: Iterable[Event]) -> OccupancyHistogram:
     return occupancy_histogram(
         enters + exits, EventKind.WC_STORE, EventKind.WC_EVICT
     )
+
+
+#: Version stamp of the :func:`occupancy_export` JSON schema.  Bump it
+#: when the structure set or per-structure fields change shape.
+OCCUPANCY_EXPORT_VERSION = 1
+
+
+def occupancy_summaries(
+    events: Sequence[Event],
+) -> "dict[str, OccupancyHistogram]":
+    """Every instrumented structure's occupancy histogram, by stable name.
+
+    The keys — ``mshr``, ``fpq_iq``, ``fpq_lq``, ``fpq_sq``,
+    ``writecache`` — are the export schema's structure names; structures
+    that emitted no events map to an empty histogram (``total_cycles``
+    0) rather than being omitted, so consumers can rely on the key set.
+    """
+    return {
+        "mshr": mshr_occupancy(events),
+        "fpq_iq": fpu_queue_occupancy(events, "iq"),
+        "fpq_lq": fpu_queue_occupancy(events, "lq"),
+        "fpq_sq": fpu_queue_occupancy(events, "sq"),
+        "writecache": writecache_occupancy(events),
+    }
+
+
+def occupancy_export(events: Sequence[Event]) -> dict:
+    """Occupancy summaries as a stable JSON document.
+
+    Schema (``version`` 1)::
+
+        {"version": 1,
+         "structures": {
+            "mshr":       {"mean": 1.27, "p50": 1, "p90": 2, "p99": 3,
+                           "max": 4, "total_cycles": 90210,
+                           "cycles_at": {"0": 4000, "1": 61000, ...}},
+            "fpq_iq":     {...}, "fpq_lq": {...}, "fpq_sq": {...},
+            "writecache": {...}}}
+
+    ``aurora-sim report --occupancy-out`` writes this file so the
+    explorer's calibration inputs (docs/EXPLORATION.md) are inspectable
+    offline; occupancy levels are raw entry counts — divide by the
+    structure's capacity for utilization.
+    """
+    return {
+        "version": OCCUPANCY_EXPORT_VERSION,
+        "structures": {
+            name: histogram.to_dict()
+            for name, histogram in occupancy_summaries(events).items()
+        },
+    }
 
 
 # ------------------------------------------------------------ interval CPI

@@ -28,10 +28,13 @@ optional for compatibility with records written before they existed:
 ``trace_path`` ("prepared" | "tuples", which trace representation the
 simulator consumed; absent means "tuples", the only path that existed
 then), ``kernel`` ("scalar" | "batched", which simulation kernel ran;
-absent means "scalar"), and ``mode`` ("simulate" | "serve"; absent
-means "simulate" — serve-mode records come from ``aurora-sim
-loadgen`` driving the live query service and additionally carry
-``requests_per_second`` / ``latency_p50_ms`` / ``latency_p99_ms``).
+absent means "scalar"), and ``mode`` ("simulate" | "serve" |
+"explore"; absent means "simulate").  Serve-mode records come from
+``aurora-sim loadgen`` driving the live query service and additionally
+carry ``requests_per_second`` / ``latency_p50_ms`` / ``latency_p99_ms``;
+explore-mode records come from ``aurora-sim explore`` and additionally
+carry ``configs_considered`` / ``configs_simulated`` /
+``model_mean_rel_error``.
 """
 
 from __future__ import annotations
@@ -70,10 +73,13 @@ _SCHEMA: dict[str, tuple[type, ...]] = {
 _OPTIONAL_SCHEMA: dict[str, tuple[tuple[type, ...], tuple | None]] = {
     "trace_path": ((str,), ("prepared", "tuples")),
     "kernel": ((str,), ("scalar", "batched")),
-    "mode": ((str,), ("simulate", "serve")),
+    "mode": ((str,), ("simulate", "serve", "explore")),
     "requests_per_second": ((int, float), None),
     "latency_p50_ms": ((int, float), None),
     "latency_p99_ms": ((int, float), None),
+    "configs_considered": ((int,), None),
+    "configs_simulated": ((int,), None),
+    "model_mean_rel_error": ((int, float), None),
 }
 
 #: What an absent ``trace_path`` means: every record written before the
@@ -300,6 +306,7 @@ class PerfHistory:
                 f"{self.path}: no baseline stored — seed one with "
                 "'aurora-sim perf --seed-baseline' first"
             )
+        mismatched = []
         for key in (
             "workload", "factor", "config", "trace_path", "kernel", "mode",
         ):
@@ -307,12 +314,19 @@ class PerfHistory:
             mine = record.get(key, legacy)
             theirs = baseline.get(key, legacy)
             if mine != theirs:
-                raise BaselineError(
-                    f"{self.path}: baseline is for "
-                    f"{key}={theirs!r} but this run has "
-                    f"{key}={mine!r}; re-seed the baseline for "
-                    "the new series"
-                )
+                mismatched.append((key, theirs, mine))
+        if mismatched:
+            # Name *every* offending axis — with six series keys, naming
+            # only the first made "which axis mismatched" a guessing game.
+            detail = "; ".join(
+                f"baseline is for {key}={theirs!r} but this run has "
+                f"{key}={mine!r}"
+                for key, theirs, mine in mismatched
+            )
+            raise BaselineError(
+                f"{self.path}: refusing a cross-series comparison "
+                f"({detail}); re-seed the baseline for the new series"
+            )
         return RegressionCheck(
             baseline_throughput=float(baseline["cycles_per_second"]),
             current_throughput=float(record["cycles_per_second"]),

@@ -10,6 +10,7 @@ from repro.cost.rbe import (
     fpu_cost,
     ipu_cost,
     machine_cost,
+    total_cost,
 )
 
 
@@ -33,6 +34,10 @@ class TestCacheBlockCost:
     def test_invalid_size(self):
         with pytest.raises(CostError):
             cache_block_cost(0)
+
+    def test_negative_size(self):
+        with pytest.raises(CostError):
+            cache_block_cost(-1024)
 
 
 class TestFpUnitCost:
@@ -117,6 +122,22 @@ class TestMachineCosts:
     def test_render_contains_total(self):
         text = ipu_cost(BASELINE).render("baseline")
         assert "TOTAL" in text and "baseline" in text
+
+
+class TestTotalCost:
+    @pytest.mark.parametrize("model", [SMALL, BASELINE, LARGE])
+    def test_matches_machine_cost_total(self, model):
+        assert total_cost(model) == pytest.approx(machine_cost(model).total)
+
+    def test_fpu_included_on_request(self):
+        assert total_cost(BASELINE, include_fpu=True) == pytest.approx(
+            machine_cost(BASELINE, include_fpu=True).total
+        )
+        assert total_cost(BASELINE, include_fpu=True) > total_cost(BASELINE)
+
+    def test_orders_the_models(self):
+        costs = [total_cost(m) for m in (SMALL, BASELINE, LARGE)]
+        assert costs == sorted(costs)
 
 
 class TestFpuCost:

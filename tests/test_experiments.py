@@ -264,6 +264,26 @@ class TestFig8:
     def test_render(self, result):
         assert "Figure 8" in result.render()
 
+    def test_frontier_is_nondominated_and_cost_sorted(self, result):
+        frontier = result.frontier()
+        assert frontier
+        costs = [p.cost for p in frontier]
+        assert costs == sorted(costs)
+        live = [p for p in result.points if p.cpi > 0]
+        for point in frontier:
+            assert not any(
+                other.cost < point.cost and other.cpi < point.cpi
+                for other in live
+            )
+
+    def test_render_tags_frontier_points(self, result):
+        text = result.render()
+        assert "frontier" in text
+        tagged = [
+            line for line in text.splitlines() if line.rstrip().endswith("*")
+        ]
+        assert len(tagged) == len(result.frontier())
+
 
 class TestHitRates:
     def test_near_paper_values(self):

@@ -34,7 +34,9 @@ from repro.telemetry import (
     interval_cpi,
     load_ndjson,
     mshr_occupancy,
+    occupancy_export,
     occupancy_histogram,
+    occupancy_summaries,
     publish_stats,
     stall_breakdown,
     stall_timeline,
@@ -291,6 +293,38 @@ class TestOccupancy:
         assert 0 < histogram.max_occupancy <= BASELINE.mshr_entries
 
 
+class TestOccupancyExport:
+    STRUCTURES = ("mshr", "fpq_iq", "fpq_lq", "fpq_sq", "writecache")
+
+    def test_summaries_cover_every_structure_even_when_idle(self):
+        summaries = occupancy_summaries([])
+        assert set(summaries) == set(self.STRUCTURES)
+        assert all(h.total_cycles == 0 for h in summaries.values())
+
+    def test_to_dict_summary_fields(self):
+        histogram = mshr_occupancy(_occ_events([(0, 10), (5, 15)]))
+        payload = histogram.to_dict()
+        assert payload["mean"] == pytest.approx(20 / 15)
+        assert payload["p50"] == 1
+        assert payload["p99"] == 2
+        assert payload["max"] == 2
+        assert payload["total_cycles"] == 15
+        assert payload["cycles_at"] == {"1": 10, "2": 5}
+
+    def test_export_is_versioned_stable_json(self):
+        from repro.telemetry.analysis import OCCUPANCY_EXPORT_VERSION
+
+        events, _result = run_with_telemetry("compress")
+        document = occupancy_export(events)
+        assert document["version"] == OCCUPANCY_EXPORT_VERSION
+        assert set(document["structures"]) == set(self.STRUCTURES)
+        mshr = document["structures"]["mshr"]
+        assert mshr["total_cycles"] > 0
+        assert 0 < mshr["max"] <= BASELINE.mshr_entries
+        # round-trips through JSON unchanged (string keys throughout)
+        assert json.loads(json.dumps(document)) == document
+
+
 # ------------------------------------------------------------ interval CPI
 
 
@@ -394,6 +428,22 @@ class TestCli:
         assert cli.main(["report", str(out)]) == 0
         report_output = capsys.readouterr().out
         assert "stall cycles from events" in report_output
+
+    def test_report_occupancy_out(self, tmp_path, capsys):
+        out = tmp_path / "compress.ndjson"
+        occupancy = tmp_path / "occupancy.json"
+        assert cli.main([
+            "trace", "compress", "--factor", str(FACTOR), "--out", str(out),
+            "--metrics-out", str(tmp_path / "metrics.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main([
+            "report", str(out), "--occupancy-out", str(occupancy),
+        ]) == 0
+        assert "occupancy:" in capsys.readouterr().out
+        document = json.loads(occupancy.read_text())
+        assert document["version"] == 1
+        assert document["structures"]["mshr"]["total_cycles"] > 0
 
     @pytest.mark.parametrize(
         "argv",
